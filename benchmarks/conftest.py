@@ -1,0 +1,38 @@
+"""Shared configuration for the benchmark harness.
+
+The paper's Table 1 measures 50 000 PHVs per program.  In this pure-Python
+reproduction the default is scaled down to 5 000 PHVs so the full suite
+finishes in minutes; set ``DRUZHBA_BENCH_PHVS=50000`` to reproduce the paper's
+workload size exactly (the relative shape of the results is unchanged).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: PHVs simulated per Table-1 benchmark (paper: 50 000).
+BENCH_PHVS = int(os.environ.get("DRUZHBA_BENCH_PHVS", "5000"))
+#: PHVs fuzzed per case-study corpus entry.
+CASE_STUDY_PHVS = int(os.environ.get("DRUZHBA_CASE_STUDY_PHVS", "150"))
+#: Packets simulated per dRMT benchmark.
+DRMT_PACKETS = int(os.environ.get("DRUZHBA_DRMT_PACKETS", "300"))
+
+
+@pytest.fixture(scope="session")
+def bench_phvs() -> int:
+    """Number of PHVs per RMT benchmark run."""
+    return BENCH_PHVS
+
+
+@pytest.fixture(scope="session")
+def case_study_phvs() -> int:
+    """Number of PHVs per case-study fuzzing run."""
+    return CASE_STUDY_PHVS
+
+
+@pytest.fixture(scope="session")
+def drmt_packets() -> int:
+    """Number of packets per dRMT benchmark run."""
+    return DRMT_PACKETS

@@ -1,0 +1,88 @@
+"""Ablation: how pipeline dimensions and ALU complexity affect simulation runtime.
+
+Section 5.1 of the paper observes, qualitatively, that
+
+    "programs ... that showed the most significant improvements due to our
+    optimizations were the ones with the highest number of pipeline depths
+    and widths ...  The ALUs used in each benchmark varied significantly in
+    complexity and also affected pipeline generation but we found that it had
+    a much lower impact on performance."
+
+This ablation makes both observations measurable in the reproduction: the
+same pass-through workload is simulated while sweeping (a) the pipeline
+dimensions with the ALU fixed and (b) the stateful atom with the dimensions
+fixed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+import pytest
+
+from repro import atoms, dgen
+from repro.dsim import RMTSimulator, TrafficGenerator
+from repro.hardware import PipelineSpec
+
+#: PHVs per ablation point (smaller than Table 1: there are many points).
+ABLATION_PHVS = 2000
+
+DIMENSION_SWEEP = [(1, 1), (2, 2), (4, 2), (4, 5)]
+ATOM_SWEEP = ["raw", "pred_raw", "if_else_raw", "sub", "nested_if", "pair"]
+
+_DIMENSION_RESULTS: Dict[str, Dict[int, float]] = defaultdict(dict)
+
+
+def _build(depth, width, atom_name, opt_level):
+    spec = PipelineSpec(
+        depth=depth,
+        width=width,
+        stateful_alu=atoms.get_atom(atom_name),
+        stateless_alu=atoms.get_atom("stateless_full"),
+        name=f"ablation_{depth}x{width}_{atom_name}",
+    )
+    machine_code = spec.passthrough_machine_code()
+    description = dgen.generate(spec, machine_code, opt_level=opt_level)
+    inputs = TrafficGenerator(num_containers=width, seed=13).generate(ABLATION_PHVS)
+    return description, inputs
+
+
+@pytest.mark.parametrize("opt_level", [dgen.OPT_UNOPTIMIZED, dgen.OPT_SCC_INLINE],
+                         ids=["unoptimized", "optimized"])
+@pytest.mark.parametrize("dims", DIMENSION_SWEEP, ids=[f"{d}x{w}" for d, w in DIMENSION_SWEEP])
+def test_dimension_sweep(benchmark, dims, opt_level):
+    """Runtime versus pipeline depth x width, if_else_raw atom fixed."""
+    depth, width = dims
+    description, inputs = _build(depth, width, "if_else_raw", opt_level)
+    benchmark.pedantic(
+        lambda: RMTSimulator(description).run(inputs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info["alus_per_phv"] = depth * width * 2
+    _DIMENSION_RESULTS[f"{depth}x{width}"][opt_level] = benchmark.stats.stats.mean * 1000.0
+
+
+@pytest.mark.parametrize("atom_name", ATOM_SWEEP)
+def test_atom_complexity_sweep(benchmark, atom_name):
+    """Runtime versus stateful-atom complexity, 2x2 pipeline fixed, optimised code."""
+    description, inputs = _build(2, 2, atom_name, dgen.OPT_SCC_INLINE)
+    benchmark.pedantic(
+        lambda: RMTSimulator(description).run(inputs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info["holes_per_alu"] = len(atoms.get_atom(atom_name).holes)
+
+
+def test_dimension_effect_dominates(capsys):
+    """Larger pipelines benefit more from optimisation than small ones (paper §5.1)."""
+    if len(_DIMENSION_RESULTS) < len(DIMENSION_SWEEP):
+        pytest.skip("run together with the dimension-sweep benchmarks")
+    smallest = _DIMENSION_RESULTS["1x1"]
+    largest = _DIMENSION_RESULTS["4x5"]
+    saving_small = smallest[dgen.OPT_UNOPTIMIZED] - smallest[dgen.OPT_SCC_INLINE]
+    saving_large = largest[dgen.OPT_UNOPTIMIZED] - largest[dgen.OPT_SCC_INLINE]
+    with capsys.disabled():
+        print("\nAblation: optimisation saving by pipeline size")
+        for dims, timings in _DIMENSION_RESULTS.items():
+            print(f"  {dims:5s} unoptimized {timings[dgen.OPT_UNOPTIMIZED]:8.1f} ms, "
+                  f"optimized {timings[dgen.OPT_SCC_INLINE]:8.1f} ms")
+    assert saving_large > saving_small

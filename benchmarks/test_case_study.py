@@ -1,0 +1,72 @@
+"""Case-study reproduction (paper §5.2): validating a corpus of machine-code programs.
+
+The paper reports that over 120 Chipmunk-generated machine-code programs were
+validated through Druzhba, with 8 failures: 2 from missing output-multiplexer
+machine-code pairs and 6 from machine code that only satisfied a limited
+range of container values.  This benchmark rebuilds a corpus of the same
+shape (see :mod:`repro.programs.case_study`), fuzzes every member over the
+full 10-bit input range, asserts the failure breakdown, and prints the
+paper-vs-reproduction table recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.programs.case_study import build_corpus, run_case_study
+from repro.testing import FailureClass
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus()
+
+
+def test_case_study_campaign(benchmark, corpus, case_study_phvs, capsys):
+    """Fuzz the full corpus once and compare the outcome counts with the paper."""
+    result = benchmark.pedantic(
+        run_case_study,
+        kwargs={"num_phvs": case_study_phvs, "seed": 0, "entries": corpus},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+
+    # Corpus shape matches the paper's study.
+    assert result.total_programs > 120
+    assert result.summary.passed == result.total_programs - 8
+    assert result.summary.count(FailureClass.MISSING_MACHINE_CODE) == 2
+    assert result.summary.count(FailureClass.VALUE_RANGE) == 6
+    assert result.summary.count(FailureClass.OUTPUT_MISMATCH) == 0
+    assert result.expected_matches_observed()
+
+    benchmark.extra_info["programs"] = result.total_programs
+    benchmark.extra_info["phvs_per_program"] = case_study_phvs
+    benchmark.extra_info["failures"] = result.summary.failed
+
+    with capsys.disabled():
+        print("\nCase study reproduction (paper §5.2)")
+        for row in result.table():
+            print(f"  {row['quantity']:55s} paper: {str(row['paper']):9s} "
+                  f"reproduced: {row['reproduced']}")
+        print("  per-family (passed/total): "
+              + ", ".join(f"{family}={passed}/{total}"
+                          for family, (passed, total) in sorted(result.per_family.items())))
+
+
+def test_single_program_fuzzing_throughput(benchmark, case_study_phvs):
+    """Micro-benchmark: one full fuzzing run (dgen + dsim + spec + comparison)."""
+    from repro.programs import get_program
+    from repro.testing import FuzzConfig, FuzzTester
+
+    program = get_program("stateful_firewall")
+    tester = FuzzTester(
+        program.pipeline_spec(),
+        program.specification(),
+        config=FuzzConfig(num_phvs=case_study_phvs, seed=7),
+        traffic_generator=program.traffic_generator(seed=7),
+        initial_state=program.initial_pipeline_state(),
+    )
+    machine_code = program.machine_code()
+    outcome = benchmark(tester.test, machine_code)
+    assert outcome.passed

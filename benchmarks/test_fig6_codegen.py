@@ -1,0 +1,85 @@
+"""Figure 6 reproduction: the pipeline description at the three optimisation levels.
+
+Figure 6 of the paper shows how the generated code shrinks from version 1
+(unoptimised: machine-code hash lookups and opcode-dispatching helpers)
+through version 2 (SCC propagation: specialised single-expression helpers) to
+version 3 (helpers inlined away).  This benchmark regenerates the three
+versions for the same small configuration, benchmarks dgen itself, and checks
+the structural properties that make the figure's point:
+
+* version 1 contains machine-code (``values[...]``) lookups, versions 2 and 3
+  contain none;
+* version 2 still defines helper functions, version 3 does not;
+* code size strictly decreases from version to version.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import atoms, dgen
+from repro.chipmunk import MachineCodeBuilder
+from repro.hardware import PipelineSpec
+from repro.machine_code import naming
+
+LEVEL_IDS = ["version1_unoptimized", "version2_scc", "version3_scc_inlining"]
+
+
+@pytest.fixture(scope="module")
+def figure6_configuration():
+    """The small configuration whose generated code the figure inspects."""
+    spec = PipelineSpec(
+        depth=1,
+        width=1,
+        stateful_alu=atoms.get_atom("raw"),
+        stateless_alu=atoms.get_atom("stateless_arith"),
+        name="figure6",
+    )
+    builder = MachineCodeBuilder(spec)
+    builder.configure_raw(0, 0, use_state=True, rhs=("pkt", 0), input_containers=[0, 0])
+    builder.route_output(0, 0, kind=naming.STATEFUL, slot=0)
+    return spec, builder.build()
+
+
+@pytest.mark.parametrize("level", dgen.OPT_LEVELS, ids=LEVEL_IDS)
+def test_fig6_generation_time(benchmark, figure6_configuration, level):
+    """Benchmark dgen itself (generation + compilation) at each level."""
+    spec, machine_code = figure6_configuration
+    description = benchmark(dgen.generate, spec, machine_code, opt_level=level)
+    benchmark.extra_info["source_lines"] = description.source_line_count()
+    benchmark.extra_info["functions"] = description.function_count()
+
+
+def test_fig6_code_shape(figure6_configuration, capsys):
+    """Assert and print the structural differences between the three versions."""
+    spec, machine_code = figure6_configuration
+    descriptions = {
+        level: dgen.generate(spec, machine_code, opt_level=level) for level in dgen.OPT_LEVELS
+    }
+
+    version1 = descriptions[dgen.OPT_UNOPTIMIZED]
+    version2 = descriptions[dgen.OPT_SCC]
+    version3 = descriptions[dgen.OPT_SCC_INLINE]
+
+    # Version 1: machine code is read from the values hash table at runtime.
+    assert 'values["pipeline_stage_0_' in version1.source
+    # Versions 2 and 3: SCC propagation removed every machine-code lookup.
+    assert 'values["' not in version2.source
+    assert 'values["' not in version3.source
+    # Version 2 keeps helper functions; version 3 inlines them away.
+    helper_name = "stage_0_stateful_alu_0_mux3_0"
+    assert helper_name in version2.source
+    assert helper_name not in version3.source
+    # Code size decreases monotonically (the figure's visual point).
+    sizes = [descriptions[level].source_line_count() for level in dgen.OPT_LEVELS]
+    assert sizes[0] > sizes[1] > sizes[2]
+    functions = [descriptions[level].function_count() for level in dgen.OPT_LEVELS]
+    assert functions[0] > functions[1] > functions[2]
+
+    with capsys.disabled():
+        print("\nFigure 6 reproduction (code-size metrics)")
+        print(f"{'version':28s} {'non-blank lines':>16s} {'functions':>10s}")
+        for level, label in zip(dgen.OPT_LEVELS, LEVEL_IDS):
+            description = descriptions[level]
+            print(f"{label:28s} {description.source_line_count():>16d} "
+                  f"{description.function_count():>10d}")

@@ -1,0 +1,122 @@
+"""Ablation: generated-code simulation vs. direct interpretation.
+
+Druzhba's central design decision is that dgen *generates code* for the
+configured pipeline instead of interpreting the ALU DSL and machine code at
+simulation time.  This benchmark quantifies that decision in the
+reproduction by simulating the same workload three ways:
+
+* the interpreted :class:`~repro.dsim.ReferenceSimulator` (no codegen at all),
+* dgen level 0 (generated code, machine code looked up at runtime),
+* dgen level 2 (generated code, SCC propagation + inlining).
+
+It also benchmarks the synthesis compiler, the other compile-time cost a
+Chipmunk-style user pays per program.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import atoms, dgen
+from repro.chipmunk import Sketch, SynthesisConfig, SynthesisEngine
+from repro.dsim import RMTSimulator, ReferenceSimulator
+from repro.hardware import PipelineSpec
+from repro.machine_code import naming
+from repro.programs import get_program
+from repro.testing import FunctionSpecification
+
+#: PHVs per comparison point (interpretation is slow; keep this moderate).
+COMPARISON_PHVS = 1000
+
+
+@pytest.fixture(scope="module")
+def workload():
+    program = get_program("marple_tcp_nmo")
+    return (
+        program,
+        program.pipeline_spec(),
+        program.machine_code(),
+        program.traffic_generator(seed=3).generate(COMPARISON_PHVS),
+    )
+
+
+def test_interpreted_reference(benchmark, workload):
+    program, spec, machine_code, inputs = workload
+    simulator = ReferenceSimulator(spec, machine_code, program.initial_pipeline_state())
+    trace = benchmark.pedantic(simulator.run, args=(inputs,), rounds=1, iterations=1, warmup_rounds=0)
+    assert len(trace) == COMPARISON_PHVS
+    benchmark.extra_info["backend"] = "interpreted"
+
+
+@pytest.mark.parametrize("level", [dgen.OPT_UNOPTIMIZED, dgen.OPT_SCC_INLINE],
+                         ids=["generated_level0", "generated_level2"])
+def test_generated_code(benchmark, workload, level):
+    program, spec, machine_code, inputs = workload
+    description = dgen.generate(spec, machine_code, opt_level=level)
+
+    def run():
+        return RMTSimulator(description, initial_state=program.initial_pipeline_state()).run(inputs)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=1)
+    assert len(result.output_trace) == COMPARISON_PHVS
+    benchmark.extra_info["backend"] = f"generated_opt{level}"
+
+
+def test_generated_code_faster_than_interpretation(workload, capsys):
+    """The reproduction preserves the paper's motivation: codegen beats interpretation."""
+    import time
+
+    program, spec, machine_code, inputs = workload
+
+    start = time.perf_counter()
+    ReferenceSimulator(spec, machine_code, program.initial_pipeline_state()).run(inputs)
+    interpreted = time.perf_counter() - start
+
+    description = dgen.generate(spec, machine_code, opt_level=dgen.OPT_SCC_INLINE)
+    RMTSimulator(description, initial_state=program.initial_pipeline_state()).run(inputs)  # warm
+    start = time.perf_counter()
+    RMTSimulator(description, initial_state=program.initial_pipeline_state()).run(inputs)
+    generated = time.perf_counter() - start
+
+    with capsys.disabled():
+        print(f"\ninterpreted reference: {interpreted * 1000:8.1f} ms for {COMPARISON_PHVS} PHVs")
+        print(f"generated (level 2):   {generated * 1000:8.1f} ms for {COMPARISON_PHVS} PHVs")
+        print(f"speedup: {interpreted / generated:.1f}x")
+    assert generated < interpreted
+
+
+def test_synthesis_compiler_cost(benchmark):
+    """How long the CEGIS compiler takes for a small accumulator program."""
+    spec = PipelineSpec(
+        depth=1, width=1,
+        stateful_alu=atoms.get_atom("raw"),
+        stateless_alu=atoms.get_atom("stateless_rel"),
+        name="synthesis_bench",
+    )
+    freeze = {
+        naming.output_mux_name(0, 0): spec.output_mux_value_for(naming.STATEFUL, 0),
+        naming.input_mux_name(0, naming.STATEFUL, 0, 0): 0,
+        naming.input_mux_name(0, naming.STATEFUL, 0, 1): 0,
+        naming.input_mux_name(0, naming.STATELESS, 0, 0): 0,
+        naming.input_mux_name(0, naming.STATELESS, 0, 1): 0,
+    }
+    search = [naming.alu_hole_name(0, naming.STATEFUL, 0, hole)
+              for hole in atoms.get_atom("raw").holes]
+
+    def accumulate(phv, state):
+        old = state["total"]
+        state["total"] += phv[0]
+        return [old]
+
+    specification = FunctionSpecification(
+        function=accumulate, num_containers=1, state_template={"total": 0}, relevant_containers=[0]
+    )
+
+    def synthesize():
+        sketch = Sketch.from_pipeline(spec, constant_pool=[0, 1], freeze=freeze, search_names=search)
+        engine = SynthesisEngine(spec, specification, sketch, SynthesisConfig(seed=1))
+        return engine.synthesize()
+
+    result = benchmark(synthesize)
+    assert result.success
+    benchmark.extra_info["candidates_evaluated"] = result.candidates_evaluated

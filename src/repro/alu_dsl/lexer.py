@@ -1,0 +1,110 @@
+"""Lexer for the ALU DSL.
+
+Turns ALU specification text (paper Figure 4 shows an example) into a stream
+of :class:`~repro.alu_dsl.tokens.Token` objects.  Comments start with ``#``
+or ``//`` and run to the end of the line.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..errors import ALUDSLSyntaxError
+from .tokens import KEYWORDS, ONE_CHAR_OPERATORS, TWO_CHAR_OPERATORS, Token, TokenType
+
+
+class Lexer:
+    """Converts ALU DSL source text into tokens.
+
+    The lexer is deliberately simple: the DSL has no strings, no floating
+    point numbers and no nested comments.  Identifiers match
+    ``[A-Za-z_][A-Za-z0-9_]*`` and numbers are unsigned decimal integers
+    (machine-code immediates are unsigned integer constants, §2.3).
+    """
+
+    def __init__(self, source: str):
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> List[Token]:
+        """Return the full token list, terminated by an EOF token."""
+        tokens = list(self._iter_tokens())
+        tokens.append(Token(TokenType.EOF, "", self._line, self._column))
+        return tokens
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _iter_tokens(self) -> Iterator[Token]:
+        while self._pos < len(self._source):
+            char = self._source[self._pos]
+
+            if char in " \t\r":
+                self._advance(1)
+                continue
+            if char == "\n":
+                self._advance_newline()
+                continue
+            if char == "#" or self._source.startswith("//", self._pos):
+                self._skip_line_comment()
+                continue
+
+            if char.isdigit():
+                yield self._lex_number()
+                continue
+            if char.isalpha() or char == "_":
+                yield self._lex_identifier()
+                continue
+
+            two = self._source[self._pos : self._pos + 2]
+            if two in TWO_CHAR_OPERATORS:
+                yield Token(TWO_CHAR_OPERATORS[two], two, self._line, self._column)
+                self._advance(2)
+                continue
+            if char in ONE_CHAR_OPERATORS:
+                yield Token(ONE_CHAR_OPERATORS[char], char, self._line, self._column)
+                self._advance(1)
+                continue
+
+            raise ALUDSLSyntaxError(
+                f"unexpected character {char!r}", line=self._line, column=self._column
+            )
+
+    def _advance(self, count: int) -> None:
+        self._pos += count
+        self._column += count
+
+    def _advance_newline(self) -> None:
+        self._pos += 1
+        self._line += 1
+        self._column = 1
+
+    def _skip_line_comment(self) -> None:
+        while self._pos < len(self._source) and self._source[self._pos] != "\n":
+            self._advance(1)
+
+    def _lex_number(self) -> Token:
+        start = self._pos
+        line, column = self._line, self._column
+        while self._pos < len(self._source) and self._source[self._pos].isdigit():
+            self._advance(1)
+        text = self._source[start : self._pos]
+        return Token(TokenType.NUMBER, text, line, column)
+
+    def _lex_identifier(self) -> Token:
+        start = self._pos
+        line, column = self._line, self._column
+        while self._pos < len(self._source) and (
+            self._source[self._pos].isalnum() or self._source[self._pos] == "_"
+        ):
+            self._advance(1)
+        text = self._source[start : self._pos]
+        token_type = KEYWORDS.get(text, TokenType.IDENT)
+        return Token(token_type, text, line, column)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper: tokenize ``source`` and return the token list."""
+    return Lexer(source).tokenize()

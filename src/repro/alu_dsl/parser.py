@@ -1,0 +1,345 @@
+"""Recursive-descent parser for the ALU DSL.
+
+The accepted grammar (paper Figure 3, reproduced in
+:mod:`repro.alu_dsl.grammar`) is::
+
+    alu            := header body
+    header         := type_decl state_decl hole_decl packet_decl
+    type_decl      := "type" ":" ("stateful" | "stateless")
+    state_decl     := "state" "variables" ":" "{" ident_list? "}"
+    hole_decl      := "hole" "variables" ":" "{" ident_list? "}"
+    packet_decl    := "packet" "fields" ":" "{" ident_list? "}"
+    body           := stmt*
+    stmt           := if_stmt | return_stmt | assign_stmt
+    if_stmt        := "if" "(" expr ")" block ("elif" "(" expr ")" block)*
+                      ("else" block)?
+    block          := "{" stmt* "}"
+    return_stmt    := "return" expr ";"
+    assign_stmt    := ident "=" expr ";"
+    expr           := or_expr
+    or_expr        := and_expr ("||" and_expr)*
+    and_expr       := rel_expr ("&&" rel_expr)*
+    rel_expr       := add_expr (("=="|"!="|"<="|">="|"<"|">") add_expr)?
+    add_expr       := mul_expr (("+"|"-") mul_expr)*
+    mul_expr       := unary_expr (("*"|"/"|"%") unary_expr)*
+    unary_expr     := ("-"|"!") unary_expr | primary
+    primary        := NUMBER | call | ident | "(" expr ")"
+    call           := ("Mux2"|"Mux3"|"Mux4"|"Opt"|"C"|"rel_op"|"arith_op"|"bool_op")
+                      "(" arg_list? ")"
+
+The header declarations may appear in any order but each must appear exactly
+once.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import ALUDSLSyntaxError
+from .ast_nodes import (
+    ALUSpec,
+    ArithOpExpr,
+    Assign,
+    BinaryOp,
+    BoolOpExpr,
+    ConstExpr,
+    Expr,
+    If,
+    MuxExpr,
+    Number,
+    OptExpr,
+    PRIMITIVE_CALLS,
+    RelOpExpr,
+    Return,
+    Stmt,
+    UnaryOp,
+    Var,
+)
+from .lexer import tokenize
+from .tokens import Token, TokenType
+
+
+class Parser:
+    """Recursive-descent parser over the token stream produced by the lexer."""
+
+    def __init__(self, tokens: List[Token], name: str = "alu", source: str = ""):
+        self._tokens = tokens
+        self._pos = 0
+        self._name = name
+        self._source = source
+
+    # ------------------------------------------------------------------
+    # Token-stream plumbing
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, token_type: TokenType) -> bool:
+        return self._peek().type is token_type
+
+    def _match(self, *token_types: TokenType) -> Optional[Token]:
+        if self._peek().type in token_types:
+            return self._advance()
+        return None
+
+    def _expect(self, token_type: TokenType, what: str) -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            raise ALUDSLSyntaxError(
+                f"expected {what}, found {token.value!r}",
+                line=token.line,
+                column=token.column,
+            )
+        return self._advance()
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def parse(self) -> ALUSpec:
+        """Parse the full specification and return an un-analysed ALUSpec."""
+        kind: Optional[str] = None
+        state_vars: Optional[List[str]] = None
+        hole_vars: Optional[List[str]] = None
+        packet_fields: Optional[List[str]] = None
+
+        # Header declarations, any order, each at most once.
+        while self._peek().type in (TokenType.TYPE, TokenType.STATE, TokenType.HOLE, TokenType.PACKET):
+            token = self._advance()
+            if token.type is TokenType.TYPE:
+                if kind is not None:
+                    raise ALUDSLSyntaxError("duplicate 'type' declaration", token.line, token.column)
+                self._expect(TokenType.COLON, "':' after 'type'")
+                kind_token = self._advance()
+                if kind_token.type not in (TokenType.STATEFUL, TokenType.STATELESS):
+                    raise ALUDSLSyntaxError(
+                        "ALU type must be 'stateful' or 'stateless'",
+                        kind_token.line,
+                        kind_token.column,
+                    )
+                kind = kind_token.value
+            elif token.type is TokenType.STATE:
+                if state_vars is not None:
+                    raise ALUDSLSyntaxError("duplicate 'state variables' declaration", token.line, token.column)
+                self._expect(TokenType.VARIABLES, "'variables' after 'state'")
+                state_vars = self._parse_name_set()
+            elif token.type is TokenType.HOLE:
+                if hole_vars is not None:
+                    raise ALUDSLSyntaxError("duplicate 'hole variables' declaration", token.line, token.column)
+                self._expect(TokenType.VARIABLES, "'variables' after 'hole'")
+                hole_vars = self._parse_name_set()
+            else:  # TokenType.PACKET
+                if packet_fields is not None:
+                    raise ALUDSLSyntaxError("duplicate 'packet fields' declaration", token.line, token.column)
+                self._expect(TokenType.FIELDS, "'fields' after 'packet'")
+                packet_fields = self._parse_name_set()
+
+        if kind is None:
+            raise ALUDSLSyntaxError("missing 'type:' declaration")
+        if packet_fields is None:
+            raise ALUDSLSyntaxError("missing 'packet fields:' declaration")
+
+        body = self._parse_statements(stop_types=(TokenType.EOF,))
+        self._expect(TokenType.EOF, "end of input")
+
+        return ALUSpec(
+            name=self._name,
+            kind=kind,
+            state_vars=state_vars or [],
+            hole_vars=hole_vars or [],
+            packet_fields=packet_fields,
+            body=body,
+            source=self._source,
+        )
+
+    # ------------------------------------------------------------------
+    # Header helpers
+    # ------------------------------------------------------------------
+    def _parse_name_set(self) -> List[str]:
+        self._expect(TokenType.COLON, "':' in declaration")
+        self._expect(TokenType.LBRACE, "'{' opening a name set")
+        names: List[str] = []
+        if not self._check(TokenType.RBRACE):
+            names.append(self._expect(TokenType.IDENT, "identifier").value)
+            while self._match(TokenType.COMMA):
+                names.append(self._expect(TokenType.IDENT, "identifier").value)
+        self._expect(TokenType.RBRACE, "'}' closing a name set")
+        return names
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _parse_statements(self, stop_types: Tuple[TokenType, ...]) -> List[Stmt]:
+        statements: List[Stmt] = []
+        while self._peek().type not in stop_types:
+            statements.append(self._parse_statement())
+        return statements
+
+    def _parse_statement(self) -> Stmt:
+        if self._check(TokenType.IF):
+            return self._parse_if()
+        if self._check(TokenType.RETURN):
+            self._advance()
+            value = self._parse_expr()
+            self._expect(TokenType.SEMICOLON, "';' after return value")
+            return Return(value)
+        target = self._expect(TokenType.IDENT, "assignment target")
+        self._expect(TokenType.ASSIGN, "'=' in assignment")
+        value = self._parse_expr()
+        self._expect(TokenType.SEMICOLON, "';' after assignment")
+        return Assign(target.value, value)
+
+    def _parse_if(self) -> If:
+        self._expect(TokenType.IF, "'if'")
+        branches: List[Tuple[Expr, Tuple[Stmt, ...]]] = []
+        condition = self._parse_parenthesised_expr()
+        branches.append((condition, tuple(self._parse_block())))
+        orelse: Tuple[Stmt, ...] = ()
+        while True:
+            if self._check(TokenType.ELIF):
+                self._advance()
+                condition = self._parse_parenthesised_expr()
+                branches.append((condition, tuple(self._parse_block())))
+                continue
+            if self._check(TokenType.ELSE):
+                self._advance()
+                # Allow `else if (...)` as an alias of `elif (...)`.
+                if self._check(TokenType.IF):
+                    self._advance()
+                    condition = self._parse_parenthesised_expr()
+                    branches.append((condition, tuple(self._parse_block())))
+                    continue
+                orelse = tuple(self._parse_block())
+            break
+        return If(tuple(branches), orelse)
+
+    def _parse_parenthesised_expr(self) -> Expr:
+        self._expect(TokenType.LPAREN, "'(' before condition")
+        expr = self._parse_expr()
+        self._expect(TokenType.RPAREN, "')' after condition")
+        return expr
+
+    def _parse_block(self) -> List[Stmt]:
+        self._expect(TokenType.LBRACE, "'{' opening a block")
+        statements = self._parse_statements(stop_types=(TokenType.RBRACE, TokenType.EOF))
+        self._expect(TokenType.RBRACE, "'}' closing a block")
+        return statements
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def _parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        expr = self._parse_and()
+        while self._check(TokenType.OR):
+            self._advance()
+            expr = BinaryOp("||", expr, self._parse_and())
+        return expr
+
+    def _parse_and(self) -> Expr:
+        expr = self._parse_relational()
+        while self._check(TokenType.AND):
+            self._advance()
+            expr = BinaryOp("&&", expr, self._parse_relational())
+        return expr
+
+    _REL_TOKENS = {
+        TokenType.EQ: "==",
+        TokenType.NEQ: "!=",
+        TokenType.LE: "<=",
+        TokenType.GE: ">=",
+        TokenType.LT: "<",
+        TokenType.GT: ">",
+    }
+
+    def _parse_relational(self) -> Expr:
+        expr = self._parse_additive()
+        if self._peek().type in self._REL_TOKENS:
+            op_token = self._advance()
+            expr = BinaryOp(self._REL_TOKENS[op_token.type], expr, self._parse_additive())
+        return expr
+
+    def _parse_additive(self) -> Expr:
+        expr = self._parse_multiplicative()
+        while self._peek().type in (TokenType.PLUS, TokenType.MINUS):
+            op_token = self._advance()
+            expr = BinaryOp(op_token.value, expr, self._parse_multiplicative())
+        return expr
+
+    def _parse_multiplicative(self) -> Expr:
+        expr = self._parse_unary()
+        while self._peek().type in (TokenType.STAR, TokenType.SLASH, TokenType.PERCENT):
+            op_token = self._advance()
+            expr = BinaryOp(op_token.value, expr, self._parse_unary())
+        return expr
+
+    def _parse_unary(self) -> Expr:
+        if self._peek().type in (TokenType.MINUS, TokenType.NOT):
+            op_token = self._advance()
+            return UnaryOp(op_token.value, self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return Number(int(token.value))
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(TokenType.RPAREN, "')'")
+            return expr
+        if token.type is TokenType.IDENT:
+            if token.value in PRIMITIVE_CALLS and self._peek(1).type is TokenType.LPAREN:
+                return self._parse_primitive_call()
+            self._advance()
+            return Var(token.value)
+        raise ALUDSLSyntaxError(
+            f"unexpected token {token.value!r} in expression",
+            line=token.line,
+            column=token.column,
+        )
+
+    def _parse_primitive_call(self) -> Expr:
+        name_token = self._advance()
+        name = name_token.value
+        arity = PRIMITIVE_CALLS[name]
+        self._expect(TokenType.LPAREN, f"'(' after {name}")
+        args: List[Expr] = []
+        if not self._check(TokenType.RPAREN):
+            args.append(self._parse_expr())
+            while self._match(TokenType.COMMA):
+                args.append(self._parse_expr())
+        self._expect(TokenType.RPAREN, f"')' closing {name} call")
+        if len(args) != arity:
+            raise ALUDSLSyntaxError(
+                f"{name} expects {arity} argument(s), got {len(args)}",
+                line=name_token.line,
+                column=name_token.column,
+            )
+        if name in ("Mux2", "Mux3", "Mux4"):
+            return MuxExpr(tuple(args))
+        if name == "Opt":
+            return OptExpr(args[0])
+        if name == "C":
+            return ConstExpr()
+        if name == "rel_op":
+            return RelOpExpr(args[0], args[1])
+        if name == "arith_op":
+            return ArithOpExpr(args[0], args[1])
+        if name == "bool_op":
+            return BoolOpExpr(args[0], args[1])
+        raise ALUDSLSyntaxError(f"unknown primitive {name}", name_token.line, name_token.column)
+
+
+def parse(source: str, name: str = "alu") -> ALUSpec:
+    """Parse ALU DSL ``source`` into an (un-analysed) :class:`ALUSpec`."""
+    return Parser(tokenize(source), name=name, source=source).parse()

@@ -1,0 +1,109 @@
+"""Shared operational semantics of ALU DSL primitives.
+
+Both the reference interpreter (:mod:`repro.alu_dsl.interpreter`) and the
+code generator (:mod:`repro.dgen.codegen`) derive their behaviour from the
+tables in this module, which keeps the two execution paths in agreement by
+construction.  The property-based tests in ``tests/test_equivalence.py``
+additionally check the agreement empirically.
+
+All arithmetic is ordinary Python integer arithmetic.  Division by zero and
+modulo by zero are defined to return 0 (a switch ALU never traps), and
+relational/logical results are the integers 0 and 1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+# ----------------------------------------------------------------------
+# Opcode tables.  Each entry is (python_expression_template, function).
+# The template uses {a} and {b} placeholders and is what dgen emits; the
+# function is what the interpreter calls.  Keeping them adjacent makes a
+# mismatch easy to spot and easy to test.
+# ----------------------------------------------------------------------
+
+REL_OPS: List[Tuple[str, Callable[[int, int], int]]] = [
+    ("int(({a}) == ({b}))", lambda a, b: int(a == b)),
+    ("int(({a}) < ({b}))", lambda a, b: int(a < b)),
+    ("int(({a}) > ({b}))", lambda a, b: int(a > b)),
+    ("int(({a}) != ({b}))", lambda a, b: int(a != b)),
+    ("int(({a}) <= ({b}))", lambda a, b: int(a <= b)),
+    ("int(({a}) >= ({b}))", lambda a, b: int(a >= b)),
+]
+
+ARITH_OPS: List[Tuple[str, Callable[[int, int], int]]] = [
+    ("(({a}) + ({b}))", lambda a, b: a + b),
+    ("(({a}) - ({b}))", lambda a, b: a - b),
+    ("(({a}) * ({b}))", lambda a, b: a * b),
+    ("(({a}) // ({b}) if ({b}) != 0 else 0)", lambda a, b: a // b if b != 0 else 0),
+]
+
+#: DSL operator symbol selected by each ``rel_op`` / ``arith_op`` / ``bool_op``
+#: opcode.  Used by the SCC-propagation pass to rewrite a hole-controlled
+#: primitive into the literal operator it resolves to.
+REL_OP_SYMBOLS: List[str] = ["==", "<", ">", "!=", "<=", ">="]
+ARITH_OP_SYMBOLS: List[str] = ["+", "-", "*", "/"]
+BOOL_OP_SYMBOLS: List[str] = ["&&", "||"]
+
+BOOL_OPS: List[Tuple[str, Callable[[int, int], int]]] = [
+    ("int(bool({a}) and bool({b}))", lambda a, b: int(bool(a) and bool(b))),
+    ("int(bool({a}) or bool({b}))", lambda a, b: int(bool(a) or bool(b))),
+]
+
+#: Binary operators appearing literally in DSL source (not hole-controlled).
+BINARY_OPS: Dict[str, Tuple[str, Callable[[int, int], int]]] = {
+    "+": ("(({a}) + ({b}))", lambda a, b: a + b),
+    "-": ("(({a}) - ({b}))", lambda a, b: a - b),
+    "*": ("(({a}) * ({b}))", lambda a, b: a * b),
+    "/": ("(({a}) // ({b}) if ({b}) != 0 else 0)", lambda a, b: a // b if b != 0 else 0),
+    "%": ("(({a}) % ({b}) if ({b}) != 0 else 0)", lambda a, b: a % b if b != 0 else 0),
+    "==": ("int(({a}) == ({b}))", lambda a, b: int(a == b)),
+    "!=": ("int(({a}) != ({b}))", lambda a, b: int(a != b)),
+    "<=": ("int(({a}) <= ({b}))", lambda a, b: int(a <= b)),
+    ">=": ("int(({a}) >= ({b}))", lambda a, b: int(a >= b)),
+    "<": ("int(({a}) < ({b}))", lambda a, b: int(a < b)),
+    ">": ("int(({a}) > ({b}))", lambda a, b: int(a > b)),
+    "&&": ("int(bool({a}) and bool({b}))", lambda a, b: int(bool(a) and bool(b))),
+    "||": ("int(bool({a}) or bool({b}))", lambda a, b: int(bool(a) or bool(b))),
+}
+
+#: Unary operators appearing literally in DSL source.
+UNARY_OPS: Dict[str, Tuple[str, Callable[[int], int]]] = {
+    "-": ("(-({a}))", lambda a: -a),
+    "!": ("int(not ({a}))", lambda a: int(not a)),
+}
+
+
+def apply_rel_op(opcode: int, a: int, b: int) -> int:
+    """Apply the relational operator selected by ``opcode`` (modulo the table size)."""
+    return REL_OPS[opcode % len(REL_OPS)][1](a, b)
+
+
+def apply_arith_op(opcode: int, a: int, b: int) -> int:
+    """Apply the arithmetic operator selected by ``opcode`` (modulo the table size)."""
+    return ARITH_OPS[opcode % len(ARITH_OPS)][1](a, b)
+
+
+def apply_bool_op(opcode: int, a: int, b: int) -> int:
+    """Apply the logical operator selected by ``opcode`` (modulo the table size)."""
+    return BOOL_OPS[opcode % len(BOOL_OPS)][1](a, b)
+
+
+def apply_binary(op: str, a: int, b: int) -> int:
+    """Apply a literal DSL binary operator ``op`` to integer operands."""
+    return BINARY_OPS[op][1](a, b)
+
+
+def apply_unary(op: str, a: int) -> int:
+    """Apply a literal DSL unary operator ``op`` to an integer operand."""
+    return UNARY_OPS[op][1](a)
+
+
+def mux_select(opcode: int, inputs: Tuple[int, ...]) -> int:
+    """N-to-1 multiplexer: ``opcode`` (modulo N) selects one of ``inputs``."""
+    return inputs[opcode % len(inputs)]
+
+
+def opt_select(opcode: int, value: int) -> int:
+    """``Opt`` primitive: return ``value`` when ``opcode`` is even, else 0."""
+    return value if opcode % 2 == 0 else 0

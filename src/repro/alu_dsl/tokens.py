@@ -1,0 +1,128 @@
+"""Token definitions for the ALU DSL lexer.
+
+The ALU DSL (paper §3.1, Figure 3) is a small imperative language used to
+describe the capabilities of a single ALU: its operands (PHV container
+values), its state variables, additional *hole* variables whose values come
+from machine code, and a body made of assignments and ``if``/``elif``/``else``
+statements over arithmetic, relational and logical expressions.  The grammar
+also provides machine-code-controlled primitives: ``Mux2``, ``Mux3``,
+``Opt``, ``C``, ``rel_op``, ``arith_op`` and ``bool_op``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    """Every terminal recognised by the ALU DSL lexer."""
+
+    # Literals and identifiers.
+    NUMBER = "NUMBER"
+    IDENT = "IDENT"
+
+    # Header keywords.
+    TYPE = "type"
+    STATEFUL = "stateful"
+    STATELESS = "stateless"
+    STATE = "state"
+    HOLE = "hole"
+    PACKET = "packet"
+    VARIABLES = "variables"
+    FIELDS = "fields"
+
+    # Statement keywords.
+    IF = "if"
+    ELIF = "elif"
+    ELSE = "else"
+    RETURN = "return"
+
+    # Punctuation.
+    COLON = ":"
+    COMMA = ","
+    SEMICOLON = ";"
+    LBRACE = "{"
+    RBRACE = "}"
+    LPAREN = "("
+    RPAREN = ")"
+
+    # Operators.
+    ASSIGN = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    EQ = "=="
+    NEQ = "!="
+    LE = "<="
+    GE = ">="
+    LT = "<"
+    GT = ">"
+    AND = "&&"
+    OR = "||"
+    NOT = "!"
+
+    # End of input sentinel.
+    EOF = "EOF"
+
+
+#: Keywords that the lexer promotes from IDENT to a dedicated token type.
+KEYWORDS = {
+    "type": TokenType.TYPE,
+    "stateful": TokenType.STATEFUL,
+    "stateless": TokenType.STATELESS,
+    "state": TokenType.STATE,
+    "hole": TokenType.HOLE,
+    "packet": TokenType.PACKET,
+    "variables": TokenType.VARIABLES,
+    "fields": TokenType.FIELDS,
+    "if": TokenType.IF,
+    "elif": TokenType.ELIF,
+    "else": TokenType.ELSE,
+    "return": TokenType.RETURN,
+}
+
+#: Multi-character operators, tried before single-character ones.
+TWO_CHAR_OPERATORS = {
+    "==": TokenType.EQ,
+    "!=": TokenType.NEQ,
+    "<=": TokenType.LE,
+    ">=": TokenType.GE,
+    "&&": TokenType.AND,
+    "||": TokenType.OR,
+}
+
+#: Single-character operators and punctuation.
+ONE_CHAR_OPERATORS = {
+    ":": TokenType.COLON,
+    ",": TokenType.COMMA,
+    ";": TokenType.SEMICOLON,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "=": TokenType.ASSIGN,
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "%": TokenType.PERCENT,
+    "<": TokenType.LT,
+    ">": TokenType.GT,
+    "!": TokenType.NOT,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexeme with its source location (1-based line and column)."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"

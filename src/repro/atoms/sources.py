@@ -1,0 +1,199 @@
+"""ALU DSL source text of the Banzai atom catalogue.
+
+The paper (§3.1) states: "We have written 5 stateless ALUs and 6 stateful
+ALUs that make use of our ALU DSL grammar that represent the behavior of
+atoms in Banzai, a switch pipeline simulator for Domino."  This module holds
+the reproduction's equivalents.  Each stateful atom follows the shape of its
+Banzai namesake; Figure 4 of the paper (the *If Else Raw* atom) is reproduced
+verbatim as ``if_else_raw``.
+
+Conventions shared by every stateful atom:
+
+* operands are ``pkt_0`` and ``pkt_1`` (two PHV container values selected by
+  the pipeline's input multiplexers);
+* the persistent state lives in ``state_0`` (and ``state_1`` for ``pair``);
+* the ALU's *output* — the value offered to the stage's output multiplexers —
+  is the value of ``state_0`` before the update (read-modify-write register
+  convention), because none of the atoms contains an explicit ``return``.
+
+Stateless atoms end with an explicit ``return``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+# ----------------------------------------------------------------------
+# Stateful atoms (6) — modelled on Banzai's raw, if_else_raw, pred_raw,
+# sub, nested_ifs and pair atoms.
+# ----------------------------------------------------------------------
+
+RAW = """
+type: stateful
+state variables : {state_0}
+hole variables : {}
+packet fields : {pkt_0, pkt_1}
+
+# Unconditional read-modify-write: state += (packet value | immediate),
+# optionally ignoring the old state.
+state_0 = Opt(state_0) + Mux3(pkt_0, pkt_1, C());
+"""
+
+IF_ELSE_RAW = """
+type: stateful
+state variables : {state_0}
+hole variables : {}
+packet fields : {pkt_0, pkt_1}
+
+# Paper Figure 4: If Else Raw.  A predicated update where both branches are
+# additive read-modify-writes.
+if (rel_op(Opt(state_0), Mux3(pkt_0, pkt_1, C()))) {
+    state_0 = Opt(state_0) + Mux3(pkt_0, pkt_1, C());
+}
+else {
+    state_0 = Opt(state_0) + Mux3(pkt_0, pkt_1, C());
+}
+"""
+
+PRED_RAW = """
+type: stateful
+state variables : {state_0}
+hole variables : {}
+packet fields : {pkt_0, pkt_1}
+
+# Predicated raw: the update happens only when the predicate holds.
+if (rel_op(Opt(state_0), Mux3(pkt_0, pkt_1, C()))) {
+    state_0 = arith_op(Opt(state_0), Mux3(pkt_0, pkt_1, C()));
+}
+"""
+
+SUB = """
+type: stateful
+state variables : {state_0}
+hole variables : {}
+packet fields : {pkt_0, pkt_1}
+
+# Like if_else_raw but with a machine-code-selected arithmetic operator in
+# both branches, so subtraction-based updates (e.g. BLUE decrease) fit.
+if (rel_op(Opt(state_0), Mux3(pkt_0, pkt_1, C()))) {
+    state_0 = arith_op(Opt(state_0), Mux3(pkt_0, pkt_1, C()));
+}
+else {
+    state_0 = arith_op(Opt(state_0), Mux3(pkt_0, pkt_1, C()));
+}
+"""
+
+NESTED_IF = """
+type: stateful
+state variables : {state_0}
+hole variables : {}
+packet fields : {pkt_0, pkt_1}
+
+# Two levels of predication (Banzai's nested_ifs atom).
+if (rel_op(Opt(state_0), Mux3(pkt_0, pkt_1, C()))) {
+    if (rel_op(Opt(state_0), Mux3(pkt_0, pkt_1, C()))) {
+        state_0 = arith_op(Opt(state_0), Mux3(pkt_0, pkt_1, C()));
+    }
+    else {
+        state_0 = arith_op(Opt(state_0), Mux3(pkt_0, pkt_1, C()));
+    }
+}
+else {
+    state_0 = arith_op(Opt(state_0), Mux3(pkt_0, pkt_1, C()));
+}
+"""
+
+PAIR = """
+type: stateful
+state variables : {state_0, state_1}
+hole variables : {}
+packet fields : {pkt_0, pkt_1}
+
+# The richest atom: two state variables updated under a compound predicate.
+# Each rel_op can be forced to a constant via the surrounding Mux2/C() so a
+# single-condition program maps onto the atom as well.
+condition_0 = Mux2(rel_op(Mux2(state_0, state_1), Mux3(pkt_0, pkt_1, C())), C());
+condition_1 = Mux2(rel_op(Mux2(state_0, state_1), Mux3(pkt_0, pkt_1, C())), C());
+if (bool_op(condition_0, condition_1)) {
+    state_0 = arith_op(Mux3(state_0, state_1, C()), Mux3(pkt_0, pkt_1, C()));
+    state_1 = arith_op(Mux3(state_0, state_1, C()), Mux3(pkt_0, pkt_1, C()));
+}
+else {
+    state_0 = arith_op(Mux3(state_0, state_1, C()), Mux3(pkt_0, pkt_1, C()));
+    state_1 = arith_op(Mux3(state_0, state_1, C()), Mux3(pkt_0, pkt_1, C()));
+}
+"""
+
+STATEFUL_SOURCES: Dict[str, str] = {
+    "raw": RAW,
+    "if_else_raw": IF_ELSE_RAW,
+    "pred_raw": PRED_RAW,
+    "sub": SUB,
+    "nested_if": NESTED_IF,
+    "pair": PAIR,
+}
+
+# ----------------------------------------------------------------------
+# Stateless atoms (5)
+# ----------------------------------------------------------------------
+
+STATELESS_ARITH = """
+type: stateless
+state variables : {}
+hole variables : {}
+packet fields : {pkt_0, pkt_1}
+
+# A two-operand arithmetic unit: each operand is a PHV value or an immediate.
+return arith_op(Mux3(pkt_0, pkt_1, C()), Mux3(pkt_0, pkt_1, C()));
+"""
+
+STATELESS_REL = """
+type: stateless
+state variables : {}
+hole variables : {}
+packet fields : {pkt_0, pkt_1}
+
+# A two-operand comparator producing 0 or 1.
+return rel_op(Mux3(pkt_0, pkt_1, C()), Mux3(pkt_0, pkt_1, C()));
+"""
+
+STATELESS_MUX = """
+type: stateless
+state variables : {}
+hole variables : {}
+packet fields : {pkt_0, pkt_1}
+
+# Pure selection: forward one PHV value or an immediate.
+return Mux3(pkt_0, pkt_1, C());
+"""
+
+STATELESS_CONST = """
+type: stateless
+state variables : {}
+hole variables : {}
+packet fields : {pkt_0}
+
+# Constant generator with a pass-through option.
+return Mux2(C(), pkt_0);
+"""
+
+STATELESS_FULL = """
+type: stateless
+state variables : {}
+hole variables : {}
+packet fields : {pkt_0, pkt_1}
+
+# General-purpose stateless unit: machine code picks between an arithmetic
+# result and a comparison result, each over muxed operands.  This is the
+# default stateless ALU used by the benchmark pipelines.
+return Mux2(arith_op(Mux3(pkt_0, pkt_1, C()), Mux3(pkt_0, pkt_1, C())),
+            rel_op(Mux3(pkt_0, pkt_1, C()), Mux3(pkt_0, pkt_1, C())));
+"""
+
+STATELESS_SOURCES: Dict[str, str] = {
+    "stateless_arith": STATELESS_ARITH,
+    "stateless_rel": STATELESS_REL,
+    "stateless_mux": STATELESS_MUX,
+    "stateless_const": STATELESS_CONST,
+    "stateless_full": STATELESS_FULL,
+}

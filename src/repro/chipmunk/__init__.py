@@ -1,0 +1,27 @@
+"""Chipmunk-style compilation to the Druzhba instruction set (paper §5.2).
+
+Two compiler back ends are provided:
+
+* :class:`MachineCodeBuilder` — a rule-based *grid allocator* that places
+  concrete atom configurations onto the pipeline (what the benchmark-program
+  suite uses);
+* :class:`ChipmunkCompiler` — a program-synthesis-based compiler (sketch +
+  CEGIS search) modelled on the paper's case-study compiler.
+"""
+
+from .allocation import MachineCodeBuilder
+from .compiler import ChipmunkCompiler, CompileResult, program_constant_pool
+from .sketch import DEFAULT_CONSTANT_POOL, Sketch
+from .synthesis import SynthesisConfig, SynthesisEngine, SynthesisResult
+
+__all__ = [
+    "MachineCodeBuilder",
+    "ChipmunkCompiler",
+    "CompileResult",
+    "program_constant_pool",
+    "Sketch",
+    "DEFAULT_CONSTANT_POOL",
+    "SynthesisConfig",
+    "SynthesisEngine",
+    "SynthesisResult",
+]

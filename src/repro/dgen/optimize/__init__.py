@@ -1,0 +1,34 @@
+"""dgen optimisation passes (paper §3.4).
+
+* :mod:`folding` — constant folding over ALU DSL expressions.
+* :mod:`dce` — dead-branch and dead-assignment elimination.
+* :mod:`constant_propagation` — sparse conditional constant propagation
+  (substitute machine-code values, fold, prune) at both the helper-function
+  and the fully-inlined granularity.
+* :mod:`inlining` — function inlining of specialised helper bodies.
+"""
+
+from .constant_propagation import (
+    specialize_expr,
+    specialize_primitive_template,
+    specialize_spec,
+    specialize_stmts,
+)
+from .dce import eliminate_dead_branches, remove_dead_local_assignments
+from .folding import constant_value, fold_expr, is_constant
+from .inlining import inline_call, max_placeholder_index, placeholder_count
+
+__all__ = [
+    "fold_expr",
+    "is_constant",
+    "constant_value",
+    "eliminate_dead_branches",
+    "remove_dead_local_assignments",
+    "specialize_expr",
+    "specialize_stmts",
+    "specialize_spec",
+    "specialize_primitive_template",
+    "inline_call",
+    "placeholder_count",
+    "max_placeholder_index",
+]

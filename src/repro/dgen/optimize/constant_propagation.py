@@ -1,0 +1,219 @@
+"""Sparse conditional constant (SCC) propagation for ALU specifications.
+
+This pass implements the first dgen optimisation of the paper (§3.4):
+
+    "providing the machine code pairs during pipeline generation enables a
+    global static mapping of names to values [...] We do this by replacing
+    machine code variable occurrences with their corresponding integer
+    values.  Then we use constant folding by evaluating constant expressions
+    which allows us to determine the results of conditional statements.  This
+    results in dead code elimination from unused control paths and solely
+    emitting single simplified expressions in place of the previous function
+    bodies."
+
+Two granularities are provided:
+
+* :func:`specialize_primitive_template` resolves one hole-controlled
+  primitive call site into a simplified expression *template* over its
+  operand placeholders (``{op0}``, ``{op1}`` ...).  This is what the
+  version-2 code of Figure 6 uses: the helper function keeps its operand
+  parameters but its body shrinks to a single return expression.
+* :func:`specialize_expr` / :func:`specialize_stmts` fully substitute hole
+  values into an expression or statement list, producing an equivalent AST
+  with no hole-controlled primitives left.  Together with constant folding
+  and dead-branch elimination this is the fully-specialised form used by the
+  version-3 (inlined) code.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence, Tuple
+
+from ...alu_dsl import semantics
+from ...alu_dsl.ast_nodes import (
+    ALUSpec,
+    ArithOpExpr,
+    Assign,
+    BinaryOp,
+    BoolOpExpr,
+    ConstExpr,
+    Expr,
+    If,
+    MuxExpr,
+    Number,
+    OptExpr,
+    RelOpExpr,
+    Return,
+    Stmt,
+    UnaryOp,
+    Var,
+)
+from ...errors import CodegenError, MissingMachineCodeError
+from .dce import eliminate_dead_branches, remove_dead_local_assignments
+from .folding import fold_expr
+
+
+def _hole_value(holes: Mapping[str, int], name: str | None) -> int:
+    if name is None:
+        raise CodegenError("primitive call site has no hole name; run ALU DSL analysis first")
+    try:
+        return int(holes[name])
+    except KeyError:
+        raise MissingMachineCodeError(name) from None
+
+
+# ----------------------------------------------------------------------
+# Primitive-site specialisation (helper-function granularity, Figure 6 v2)
+# ----------------------------------------------------------------------
+def specialize_primitive_template(expr: Expr, holes: Mapping[str, int]) -> Tuple[str, int]:
+    """Resolve one primitive call site to an expression template.
+
+    Returns ``(template, arity)`` where ``template`` is a Python expression
+    over the placeholders ``{op0}`` ... ``{opN-1}`` and ``arity`` is the
+    number of operand placeholders.  The template is exactly what the
+    specialised helper function of Figure 6 (version 2) returns.
+    """
+    if isinstance(expr, MuxExpr):
+        value = _hole_value(holes, expr.hole_name)
+        return "{op%d}" % (value % expr.width), expr.width
+    if isinstance(expr, OptExpr):
+        value = _hole_value(holes, expr.hole_name)
+        return ("{op0}" if value % 2 == 0 else "0"), 1
+    if isinstance(expr, ConstExpr):
+        value = _hole_value(holes, expr.hole_name)
+        return str(value), 0
+    if isinstance(expr, RelOpExpr):
+        value = _hole_value(holes, expr.hole_name)
+        template = semantics.REL_OPS[value % len(semantics.REL_OPS)][0]
+        return template.format(a="{op0}", b="{op1}"), 2
+    if isinstance(expr, ArithOpExpr):
+        value = _hole_value(holes, expr.hole_name)
+        template = semantics.ARITH_OPS[value % len(semantics.ARITH_OPS)][0]
+        return template.format(a="{op0}", b="{op1}"), 2
+    if isinstance(expr, BoolOpExpr):
+        value = _hole_value(holes, expr.hole_name)
+        template = semantics.BOOL_OPS[value % len(semantics.BOOL_OPS)][0]
+        return template.format(a="{op0}", b="{op1}"), 2
+    raise CodegenError(f"{type(expr).__name__} is not a hole-controlled primitive")
+
+
+# ----------------------------------------------------------------------
+# Full specialisation (inlined granularity, Figure 6 v3)
+# ----------------------------------------------------------------------
+def specialize_expr(
+    expr: Expr,
+    holes: Mapping[str, int],
+    hole_var_names: Sequence[str] = (),
+) -> Expr:
+    """Substitute hole values into ``expr`` and fold the result.
+
+    Every hole-controlled primitive is replaced by the concrete behaviour its
+    machine-code value selects, references to declared hole variables become
+    literal numbers, and constant folding is applied bottom-up.
+    """
+    specialized = _specialize(expr, holes, set(hole_var_names))
+    return fold_expr(specialized)
+
+
+def _specialize(expr: Expr, holes: Mapping[str, int], hole_vars: set) -> Expr:
+    if isinstance(expr, Number):
+        return expr
+    if isinstance(expr, Var):
+        if expr.name in hole_vars:
+            return Number(_hole_value(holes, expr.name))
+        return expr
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _specialize(expr.operand, holes, hole_vars))
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op,
+            _specialize(expr.left, holes, hole_vars),
+            _specialize(expr.right, holes, hole_vars),
+        )
+    if isinstance(expr, MuxExpr):
+        value = _hole_value(holes, expr.hole_name)
+        selected = expr.inputs[value % expr.width]
+        return _specialize(selected, holes, hole_vars)
+    if isinstance(expr, OptExpr):
+        value = _hole_value(holes, expr.hole_name)
+        if value % 2 == 0:
+            return _specialize(expr.operand, holes, hole_vars)
+        return Number(0)
+    if isinstance(expr, ConstExpr):
+        return Number(_hole_value(holes, expr.hole_name))
+    if isinstance(expr, RelOpExpr):
+        value = _hole_value(holes, expr.hole_name)
+        symbol = semantics.REL_OP_SYMBOLS[value % len(semantics.REL_OP_SYMBOLS)]
+        return BinaryOp(
+            symbol,
+            _specialize(expr.left, holes, hole_vars),
+            _specialize(expr.right, holes, hole_vars),
+        )
+    if isinstance(expr, ArithOpExpr):
+        value = _hole_value(holes, expr.hole_name)
+        symbol = semantics.ARITH_OP_SYMBOLS[value % len(semantics.ARITH_OP_SYMBOLS)]
+        return BinaryOp(
+            symbol,
+            _specialize(expr.left, holes, hole_vars),
+            _specialize(expr.right, holes, hole_vars),
+        )
+    if isinstance(expr, BoolOpExpr):
+        value = _hole_value(holes, expr.hole_name)
+        symbol = semantics.BOOL_OP_SYMBOLS[value % len(semantics.BOOL_OP_SYMBOLS)]
+        return BinaryOp(
+            symbol,
+            _specialize(expr.left, holes, hole_vars),
+            _specialize(expr.right, holes, hole_vars),
+        )
+    raise CodegenError(f"unknown expression node {type(expr).__name__}")
+
+
+def specialize_stmts(
+    stmts: Sequence[Stmt],
+    holes: Mapping[str, int],
+    hole_var_names: Sequence[str] = (),
+) -> List[Stmt]:
+    """Specialise a statement list: substitute holes, fold, prune dead branches."""
+    result: List[Stmt] = []
+    for stmt in stmts:
+        if isinstance(stmt, Assign):
+            result.append(Assign(stmt.target, specialize_expr(stmt.value, holes, hole_var_names)))
+        elif isinstance(stmt, Return):
+            result.append(Return(specialize_expr(stmt.value, holes, hole_var_names)))
+        elif isinstance(stmt, If):
+            branches = [
+                (
+                    specialize_expr(condition, holes, hole_var_names),
+                    tuple(specialize_stmts(body, holes, hole_var_names)),
+                )
+                for condition, body in stmt.branches
+            ]
+            orelse = specialize_stmts(stmt.orelse, holes, hole_var_names)
+            result.extend(eliminate_dead_branches(branches, orelse))
+        else:  # pragma: no cover - defensive
+            raise CodegenError(f"unknown statement node {type(stmt).__name__}")
+    return result
+
+
+def specialize_spec(spec: ALUSpec, holes: Mapping[str, int]) -> ALUSpec:
+    """Return a fully specialised copy of ``spec`` for the given hole values.
+
+    The returned spec contains no hole-controlled primitives and no hole
+    variables; its behaviour under the reference interpreter (with an empty
+    hole mapping) is identical to the original spec's behaviour under
+    ``holes``.  Assignments to local variables that become dead after
+    specialisation are removed.
+    """
+    body = specialize_stmts(spec.body, holes, spec.hole_vars)
+    body = remove_dead_local_assignments(body, protected=set(spec.state_vars))
+    return ALUSpec(
+        name=spec.name,
+        kind=spec.kind,
+        state_vars=list(spec.state_vars),
+        hole_vars=[],
+        packet_fields=list(spec.packet_fields),
+        body=body,
+        holes=[],
+        hole_domains={},
+        source=spec.source,
+    )

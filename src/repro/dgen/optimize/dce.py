@@ -1,0 +1,83 @@
+"""Dead-code elimination for ALU DSL statement lists.
+
+The SCC-propagation pass turns some ``if`` conditions into literal constants;
+this module removes the branches that can never execute — "dead code
+elimination from unused control paths" (paper §3.4) — and drops assignments
+to local variables that are never subsequently read.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from ...alu_dsl.ast_nodes import Assign, Expr, If, Number, Return, Stmt
+from .folding import fold_expr
+
+
+def eliminate_dead_branches(
+    branches: Sequence[Tuple[Expr, Tuple[Stmt, ...]]],
+    orelse: Sequence[Stmt],
+) -> List[Stmt]:
+    """Resolve an ``if``/``elif``/``else`` chain whose conditions may be constant.
+
+    Returns a statement list equivalent to the chain under the assumption
+    that every condition has already been specialised (holes substituted) and
+    folded.  Branches with a constant-false condition are removed; the first
+    constant-true condition terminates the chain (its body becomes the final
+    ``else`` of whatever unknown-condition branches precede it, or replaces
+    the chain entirely when it is the first live branch).
+    """
+    live: List[Tuple[Expr, Tuple[Stmt, ...]]] = []
+    final_orelse: Sequence[Stmt] = orelse
+    for condition, body in branches:
+        folded = fold_expr(condition)
+        if isinstance(folded, Number):
+            if folded.value == 0:
+                continue  # branch can never run
+            final_orelse = body  # branch always runs once reached
+            break
+        live.append((folded, body))
+    if not live:
+        return list(final_orelse)
+    return [If(tuple(live), tuple(final_orelse))]
+
+
+def _expr_reads(expr: Expr) -> Set[str]:
+    from ...alu_dsl.analysis import _collect_expr_vars
+
+    reads: Set[str] = set()
+    _collect_expr_vars(expr, reads)
+    return reads
+
+
+def _stmts_reads(stmts: Sequence[Stmt]) -> Set[str]:
+    reads: Set[str] = set()
+    for stmt in stmts:
+        if isinstance(stmt, Assign):
+            reads |= _expr_reads(stmt.value)
+        elif isinstance(stmt, Return):
+            reads |= _expr_reads(stmt.value)
+        elif isinstance(stmt, If):
+            for condition, body in stmt.branches:
+                reads |= _expr_reads(condition)
+                reads |= _stmts_reads(body)
+            reads |= _stmts_reads(stmt.orelse)
+    return reads
+
+
+def remove_dead_local_assignments(stmts: Sequence[Stmt], protected: Set[str]) -> List[Stmt]:
+    """Drop top-level assignments to locals that nothing later reads.
+
+    ``protected`` names (state variables) are never removed because their
+    assignment is itself the ALU's externally visible effect.  Only
+    straight-line, top-level assignments are considered — assignments inside
+    ``if`` bodies are conservatively kept.
+    """
+    kept: List[Stmt] = []
+    for index, stmt in enumerate(stmts):
+        if isinstance(stmt, Assign) and stmt.target not in protected:
+            later = _stmts_reads(stmts[index + 1 :])
+            if stmt.target not in later:
+                continue
+        kept.append(stmt)
+    return kept

@@ -1,0 +1,84 @@
+"""Function inlining for generated pipeline descriptions.
+
+The paper's second optimisation (§3.4) removes the helper-function calls that
+remain after SCC propagation and splices their (now single-expression) bodies
+into the caller — Figure 6, version 3.  Because every specialised helper body
+is a single ``return`` of an expression template over its operand
+placeholders, inlining is a well-defined template substitution rather than a
+general-purpose program transformation.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+from ...errors import CodegenError
+
+_PLACEHOLDER_RE = re.compile(r"\{op(\d+)\}")
+
+
+def placeholder_count(template: str) -> int:
+    """Number of distinct ``{opN}`` placeholders referenced by ``template``."""
+    indices = {int(match.group(1)) for match in _PLACEHOLDER_RE.finditer(template)}
+    return len(indices)
+
+
+def max_placeholder_index(template: str) -> int:
+    """Largest placeholder index used, or -1 when the template uses none."""
+    indices = [int(match.group(1)) for match in _PLACEHOLDER_RE.finditer(template)]
+    return max(indices) if indices else -1
+
+
+def inline_call(template: str, arguments: Sequence[str]) -> str:
+    """Inline a specialised helper body into its call site.
+
+    ``template`` is the helper's return expression over ``{op0}``..``{opN}``
+    placeholders (as produced by
+    :func:`repro.dgen.optimize.constant_propagation.specialize_primitive_template`)
+    and ``arguments`` are the Python source fragments the call site passes.
+    Arguments are parenthesised on substitution so operator precedence of the
+    surrounding template is preserved regardless of what the argument text
+    contains.
+    """
+    highest = max_placeholder_index(template)
+    if highest >= len(arguments):
+        raise CodegenError(
+            f"template references operand {{op{highest}}} but only "
+            f"{len(arguments)} argument(s) were supplied"
+        )
+
+    def substitute(match: "re.Match[str]") -> str:
+        index = int(match.group(1))
+        argument = arguments[index]
+        if _needs_parentheses(argument):
+            return f"({argument})"
+        return argument
+
+    return _PLACEHOLDER_RE.sub(substitute, template)
+
+
+def _needs_parentheses(fragment: str) -> bool:
+    """Heuristic: wrap anything that is not an atom (name, number, call, index)."""
+    stripped = fragment.strip()
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", stripped):
+        return False
+    if re.fullmatch(r"\d+", stripped):
+        return False
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*\[[^\[\]]+\]", stripped):
+        return False
+    if stripped.startswith("(") and stripped.endswith(")") and _balanced(stripped[1:-1]):
+        return False
+    return True
+
+
+def _balanced(text: str) -> bool:
+    depth = 0
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth < 0:
+                return False
+    return depth == 0

@@ -1,0 +1,49 @@
+"""Domino-like packet-transaction frontend (the high-level language of Figure 1).
+
+Parse packet-transaction programs, execute them per packet with the reference
+interpreter, and adapt them into pipeline-testing specifications.
+"""
+
+from .analysis import analyze, parse_and_analyze
+from .ast_nodes import (
+    DAssign,
+    DBinaryOp,
+    DExpr,
+    DFieldRef,
+    DIf,
+    DNumber,
+    DominoProgram,
+    DStateRef,
+    DStmt,
+    DTernary,
+    DUnaryOp,
+    StateDecl,
+)
+from .interpreter import DominoInterpreter
+from .lexer import DominoLexer, tokenize
+from .parser import DominoParser, parse
+from .spec_adapter import DominoSpecification, PacketLayout
+
+__all__ = [
+    "DominoProgram",
+    "DominoInterpreter",
+    "DominoSpecification",
+    "PacketLayout",
+    "DominoLexer",
+    "DominoParser",
+    "parse",
+    "tokenize",
+    "analyze",
+    "parse_and_analyze",
+    "StateDecl",
+    "DExpr",
+    "DStmt",
+    "DNumber",
+    "DFieldRef",
+    "DStateRef",
+    "DUnaryOp",
+    "DBinaryOp",
+    "DTernary",
+    "DAssign",
+    "DIf",
+]

@@ -1,0 +1,109 @@
+"""Semantic analysis for Domino programs.
+
+Fills in the packet-field usage sets, checks that every referenced name is a
+declared state variable, a packet field or a previously assigned
+transaction-local temporary, and rejects programs that read a temporary
+before writing it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from ..errors import DominoSemanticError
+from .ast_nodes import (
+    DAssign,
+    DBinaryOp,
+    DExpr,
+    DFieldRef,
+    DIf,
+    DNumber,
+    DominoProgram,
+    DStateRef,
+    DStmt,
+    DTernary,
+    DUnaryOp,
+)
+
+
+def _expr_field_reads(expr: DExpr, fields: List[str]) -> None:
+    if isinstance(expr, DFieldRef):
+        if expr.name not in fields:
+            fields.append(expr.name)
+    elif isinstance(expr, DUnaryOp):
+        _expr_field_reads(expr.operand, fields)
+    elif isinstance(expr, DBinaryOp):
+        _expr_field_reads(expr.left, fields)
+        _expr_field_reads(expr.right, fields)
+    elif isinstance(expr, DTernary):
+        _expr_field_reads(expr.condition, fields)
+        _expr_field_reads(expr.if_true, fields)
+        _expr_field_reads(expr.if_false, fields)
+
+
+def _expr_name_reads(expr: DExpr, names: Set[str]) -> None:
+    if isinstance(expr, DStateRef):
+        names.add(expr.name)
+    elif isinstance(expr, DUnaryOp):
+        _expr_name_reads(expr.operand, names)
+    elif isinstance(expr, DBinaryOp):
+        _expr_name_reads(expr.left, names)
+        _expr_name_reads(expr.right, names)
+    elif isinstance(expr, DTernary):
+        _expr_name_reads(expr.condition, names)
+        _expr_name_reads(expr.if_true, names)
+        _expr_name_reads(expr.if_false, names)
+
+
+def analyze(program: DominoProgram) -> DominoProgram:
+    """Validate ``program`` in place and return it with field usage populated."""
+    state_names = set(program.state_names)
+    if len(state_names) != len(program.state_decls):
+        raise DominoSemanticError(f"program {program.name!r}: duplicate state declarations")
+
+    fields_read: List[str] = []
+    fields_written: List[str] = []
+    locals_defined: Set[str] = set()
+
+    def check(stmts: Sequence[DStmt], local: Set[str]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, DAssign):
+                _collect_stmt_reads(stmt.value, local)
+                if stmt.is_field:
+                    if stmt.target not in fields_written:
+                        fields_written.append(stmt.target)
+                else:
+                    if stmt.target not in state_names:
+                        local.add(stmt.target)
+                        locals_defined.add(stmt.target)
+            elif isinstance(stmt, DIf):
+                for condition, body in stmt.branches:
+                    _collect_stmt_reads(condition, local)
+                    check(body, set(local))
+                check(stmt.orelse, set(local))
+            else:  # pragma: no cover - defensive
+                raise DominoSemanticError(f"unknown statement {type(stmt).__name__}")
+
+    def _collect_stmt_reads(expr: DExpr, local: Set[str]) -> None:
+        _expr_field_reads(expr, fields_read)
+        names: Set[str] = set()
+        _expr_name_reads(expr, names)
+        unknown = names - state_names - local
+        if unknown:
+            raise DominoSemanticError(
+                f"program {program.name!r}: undeclared identifier(s) {sorted(unknown)} "
+                "(state variables must be declared with 'state', packet fields accessed as 'pkt.<name>')"
+            )
+
+    check(program.body, set())
+
+    program.packet_fields_read = fields_read
+    program.packet_fields_written = fields_written
+    return program
+
+
+def parse_and_analyze(source: str) -> DominoProgram:
+    """Parse and validate Domino ``source`` in one step."""
+    from .parser import parse
+
+    return analyze(parse(source))

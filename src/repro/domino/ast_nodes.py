@@ -1,0 +1,179 @@
+"""AST for the Domino-like packet-transaction language.
+
+Domino [Sivaraman et al., SIGCOMM 2016] expresses packet processing as
+*packet transactions*: blocks of imperative code that execute atomically per
+packet over packet fields (``pkt.x``) and persistent switch state.  Figure 1
+of the Druzhba paper shows such a program (a sampling transaction) being
+compiled down to the Druzhba machine model.
+
+The reproduction's dialect supports:
+
+* ``state <name> = <integer>;`` declarations of persistent state,
+* a single ``transaction <name> { ... }`` block (or a bare statement list),
+* assignments to packet fields (``pkt.field = expr;``), state variables and
+  transaction-local temporaries,
+* ``if`` / ``else if`` / ``else`` statements,
+* integer expressions with arithmetic (``+ - * / %``), relational
+  (``== != < > <= >=``) and logical (``&& || !``) operators, and a ternary
+  conditional ``cond ? a : b``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class DExpr:
+    """Base class of Domino expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class DNumber(DExpr):
+    """Integer literal."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class DFieldRef(DExpr):
+    """A packet-field read: ``pkt.<name>``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class DStateRef(DExpr):
+    """A read of a declared state variable or transaction-local temporary."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class DUnaryOp(DExpr):
+    """Unary negation or logical not."""
+
+    op: str
+    operand: DExpr
+
+
+@dataclass(frozen=True)
+class DBinaryOp(DExpr):
+    """Binary arithmetic, relational or logical operation."""
+
+    op: str
+    left: DExpr
+    right: DExpr
+
+
+@dataclass(frozen=True)
+class DTernary(DExpr):
+    """``condition ? if_true : if_false``."""
+
+    condition: DExpr
+    if_true: DExpr
+    if_false: DExpr
+
+
+class DStmt:
+    """Base class of Domino statements."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class DAssign(DStmt):
+    """Assignment to a packet field (``is_field=True``) or state/local variable."""
+
+    target: str
+    value: DExpr
+    is_field: bool
+
+
+@dataclass(frozen=True)
+class DIf(DStmt):
+    """``if`` / ``else if`` / ``else`` chain."""
+
+    branches: Tuple[Tuple[DExpr, Tuple[DStmt, ...]], ...]
+    orelse: Tuple[DStmt, ...] = ()
+
+
+@dataclass
+class StateDecl:
+    """A ``state name = value;`` declaration."""
+
+    name: str
+    initial: int
+
+
+@dataclass
+class DominoProgram:
+    """A parsed Domino program.
+
+    Attributes
+    ----------
+    name:
+        Transaction name (defaults to ``"transaction"`` for bare programs).
+    state_decls:
+        Persistent state declarations in source order.
+    body:
+        Transaction body statements.
+    packet_fields_read / packet_fields_written:
+        Field usage sets, filled in by :mod:`repro.domino.analysis`.
+    source:
+        Original source text.
+    """
+
+    name: str
+    state_decls: List[StateDecl]
+    body: List[DStmt]
+    packet_fields_read: List[str] = field(default_factory=list)
+    packet_fields_written: List[str] = field(default_factory=list)
+    source: str = ""
+
+    @property
+    def state_names(self) -> List[str]:
+        """Names of the declared state variables, in declaration order."""
+        return [decl.name for decl in self.state_decls]
+
+    def initial_state(self) -> dict:
+        """Initial value of every state variable."""
+        return {decl.name: decl.initial for decl in self.state_decls}
+
+    @property
+    def packet_fields(self) -> List[str]:
+        """All packet fields touched by the program (reads first, then write-only fields)."""
+        fields = list(self.packet_fields_read)
+        for name in self.packet_fields_written:
+            if name not in fields:
+                fields.append(name)
+        return fields
+
+
+def walk_dexpr(expr: DExpr) -> List[DExpr]:
+    """Pre-order traversal of a Domino expression."""
+    out: List[DExpr] = [expr]
+    if isinstance(expr, DUnaryOp):
+        out.extend(walk_dexpr(expr.operand))
+    elif isinstance(expr, DBinaryOp):
+        out.extend(walk_dexpr(expr.left))
+        out.extend(walk_dexpr(expr.right))
+    elif isinstance(expr, DTernary):
+        out.extend(walk_dexpr(expr.condition))
+        out.extend(walk_dexpr(expr.if_true))
+        out.extend(walk_dexpr(expr.if_false))
+    return out
+
+
+def walk_dstmts(stmts) -> List[DStmt]:
+    """Pre-order traversal of a Domino statement list."""
+    out: List[DStmt] = []
+    for stmt in stmts:
+        out.append(stmt)
+        if isinstance(stmt, DIf):
+            for _cond, body in stmt.branches:
+                out.extend(walk_dstmts(body))
+            out.extend(walk_dstmts(stmt.orelse))
+    return out

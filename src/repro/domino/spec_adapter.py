@@ -1,0 +1,91 @@
+"""Adapter: use a Domino program as a pipeline-testing specification.
+
+The compiler-testing workflow (Figure 5) needs a specification that maps an
+input PHV trace to an expected output PHV trace.  A Domino program talks
+about named packet fields, whereas the pipeline talks about numbered PHV
+containers; the :class:`PacketLayout` records which container carries which
+field, and :class:`DominoSpecification` uses it to translate in both
+directions around the Domino interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..errors import SpecificationError
+from ..testing.spec import Specification
+from .ast_nodes import DominoProgram
+from .analysis import parse_and_analyze
+from .interpreter import DominoInterpreter
+
+
+@dataclass
+class PacketLayout:
+    """Mapping between PHV containers and Domino packet fields.
+
+    ``container_fields[i]`` is the packet field carried by container ``i`` on
+    *input* (``None`` for containers the program does not read), and
+    ``output_fields[i]`` the field whose post-transaction value the container
+    is expected to hold on *output* (``None`` means the container is
+    ignored — scratch space the compiler may use freely).
+    """
+
+    container_fields: List[Optional[str]]
+    output_fields: List[Optional[str]]
+
+    def __post_init__(self) -> None:
+        if len(self.container_fields) != len(self.output_fields):
+            raise SpecificationError(
+                "PacketLayout input and output field lists must have the same length"
+            )
+
+    @property
+    def num_containers(self) -> int:
+        """Number of PHV containers covered by the layout."""
+        return len(self.container_fields)
+
+    @property
+    def relevant_containers(self) -> List[int]:
+        """Containers whose output the specification defines."""
+        return [i for i, name in enumerate(self.output_fields) if name is not None]
+
+    def phv_to_packet(self, phv: Sequence[int]) -> Dict[str, int]:
+        """Build the Domino packet dictionary from PHV container values."""
+        packet: Dict[str, int] = {}
+        for index, name in enumerate(self.container_fields):
+            if name is not None:
+                packet[name] = int(phv[index])
+        return packet
+
+    def packet_to_phv(self, packet: Mapping[str, int], phv_in: Sequence[int]) -> List[int]:
+        """Build the expected output PHV from post-transaction packet fields."""
+        outputs = [int(v) for v in phv_in]
+        for index, name in enumerate(self.output_fields):
+            if name is not None:
+                outputs[index] = int(packet.get(name, 0))
+        return outputs
+
+
+class DominoSpecification(Specification):
+    """A :class:`Specification` backed by the Domino interpreter."""
+
+    def __init__(self, program: DominoProgram, layout: PacketLayout):
+        self.program = program
+        self.layout = layout
+        self.interpreter = DominoInterpreter(program)
+        self.num_containers = layout.num_containers
+        self.relevant_containers = layout.relevant_containers
+
+    @classmethod
+    def from_source(cls, source: str, layout: PacketLayout) -> "DominoSpecification":
+        """Parse, analyse and wrap Domino ``source``."""
+        return cls(parse_and_analyze(source), layout)
+
+    def initial_state(self) -> Dict[str, int]:
+        return self.interpreter.initial_state()
+
+    def process(self, phv: Sequence[int], state: Dict[str, int]) -> List[int]:
+        packet = self.layout.phv_to_packet(phv)
+        result = self.interpreter.execute(packet, state)
+        return self.layout.packet_to_phv(result, phv)

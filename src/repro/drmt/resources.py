@@ -1,0 +1,50 @@
+"""dRMT hardware parameters.
+
+The dRMT scheduler (paper §4.1) is driven by "other parameterized data (e.g.
+number of cycles per match)" and "additional information about the hardware
+constraints ... such as the number of ticks per action unit and the number of
+ticks per match".  This module captures those knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class DrmtHardwareParams:
+    """Hardware constraints handed to the dRMT scheduler.
+
+    Attributes
+    ----------
+    num_processors:
+        Match+action processors sharing the centralised table memory.
+    ticks_per_match:
+        Latency of a match operation (ΔM in the dRMT paper).
+    ticks_per_action:
+        Latency of an action operation (ΔA).
+    matches_per_cycle:
+        Match operations a single processor may *launch* per cycle.
+    actions_per_cycle:
+        Action operations a single processor may *launch* per cycle.
+    """
+
+    num_processors: int = 2
+    ticks_per_match: int = 2
+    ticks_per_action: int = 1
+    matches_per_cycle: int = 1
+    actions_per_cycle: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_processors < 1:
+            raise SchedulingError("num_processors must be >= 1")
+        if self.ticks_per_match < 1 or self.ticks_per_action < 1:
+            raise SchedulingError("per-operation latencies must be >= 1 tick")
+        if self.matches_per_cycle < 1 or self.actions_per_cycle < 1:
+            raise SchedulingError("per-cycle issue limits must be >= 1")
+
+
+#: Defaults used by examples and benchmarks.
+DEFAULT_HARDWARE = DrmtHardwareParams()

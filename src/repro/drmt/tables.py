@@ -1,0 +1,148 @@
+"""Match+action tables for dRMT simulation (paper §4.2).
+
+dRMT "accesses centralized match+action tables using shared memory through a
+crossbar"; this module models those tables: typed entries (exact, ternary and
+longest-prefix matches), lookup against a packet's field values, and the
+shared table store that every processor consults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import TableConfigError
+from ..p4.program import P4Program, Table
+
+
+@dataclass(frozen=True)
+class MatchPattern:
+    """One field's match pattern inside a table entry.
+
+    * exact: ``value`` must equal the packet field;
+    * ternary: ``(packet & mask) == (value & mask)``;
+    * lpm: the top ``prefix_len`` bits of a ``width``-bit field must match.
+    """
+
+    kind: str
+    value: int
+    mask: Optional[int] = None
+    prefix_len: Optional[int] = None
+    width: int = 32
+
+    def matches(self, field_value: int) -> bool:
+        """True when ``field_value`` satisfies this pattern."""
+        if self.kind == "exact":
+            return field_value == self.value
+        if self.kind == "ternary":
+            mask = self.mask if self.mask is not None else (1 << self.width) - 1
+            return (field_value & mask) == (self.value & mask)
+        if self.kind == "lpm":
+            prefix = self.prefix_len if self.prefix_len is not None else self.width
+            if prefix == 0:
+                return True
+            shift = max(self.width - prefix, 0)
+            return (field_value >> shift) == (self.value >> shift)
+        raise TableConfigError(f"unknown match kind {self.kind!r}")
+
+    @property
+    def specificity(self) -> int:
+        """Used to order LPM entries: longer prefixes win."""
+        if self.kind == "lpm":
+            return self.prefix_len if self.prefix_len is not None else self.width
+        if self.kind == "exact":
+            return self.width
+        mask = self.mask if self.mask is not None else (1 << self.width) - 1
+        return bin(mask).count("1")
+
+
+@dataclass
+class TableEntry:
+    """One row of a match+action table."""
+
+    patterns: Dict[str, MatchPattern]
+    action: str
+    action_args: List[int] = field(default_factory=list)
+    priority: int = 0
+
+    def matches(self, fields: Mapping[str, int]) -> bool:
+        """True when every pattern matches the packet's field values."""
+        for field_name, pattern in self.patterns.items():
+            if not pattern.matches(int(fields.get(field_name, 0))):
+                return False
+        return True
+
+    @property
+    def specificity(self) -> int:
+        """Combined specificity used to break ties between matching entries."""
+        return sum(pattern.specificity for pattern in self.patterns.values())
+
+
+class MatchActionTable:
+    """A populated match+action table."""
+
+    def __init__(self, definition: Table, program: P4Program):
+        self.definition = definition
+        self.program = program
+        self.entries: List[TableEntry] = []
+        self.hit_count = 0
+        self.miss_count = 0
+
+    @property
+    def name(self) -> str:
+        """Table name."""
+        return self.definition.name
+
+    def add_entry(self, entry: TableEntry) -> None:
+        """Append an entry (validated against the table's reads and actions)."""
+        expected_fields = set(self.definition.match_fields())
+        if set(entry.patterns) != expected_fields:
+            raise TableConfigError(
+                f"table {self.name!r} matches on {sorted(expected_fields)}, entry supplies "
+                f"{sorted(entry.patterns)}"
+            )
+        if entry.action not in self.definition.actions:
+            raise TableConfigError(
+                f"table {self.name!r} cannot invoke action {entry.action!r}; allowed: "
+                f"{self.definition.actions}"
+            )
+        if len(self.entries) >= self.definition.size:
+            raise TableConfigError(f"table {self.name!r} is full (size {self.definition.size})")
+        self.entries.append(entry)
+
+    def lookup(self, fields: Mapping[str, int]) -> Optional[TableEntry]:
+        """Find the best matching entry (highest priority, then most specific)."""
+        candidates = [entry for entry in self.entries if entry.matches(fields)]
+        if not candidates:
+            self.miss_count += 1
+            return None
+        self.hit_count += 1
+        return max(candidates, key=lambda entry: (entry.priority, entry.specificity))
+
+
+class TableStore:
+    """The centralised table memory shared by every dRMT processor."""
+
+    def __init__(self, program: P4Program):
+        self.program = program
+        self.tables: Dict[str, MatchActionTable] = {
+            name: MatchActionTable(definition, program) for name, definition in program.tables.items()
+        }
+
+    def __getitem__(self, name: str) -> MatchActionTable:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise TableConfigError(f"unknown table {name!r}") from None
+
+    def add_entry(self, table_name: str, entry: TableEntry) -> None:
+        """Add one entry to one table."""
+        self[table_name].add_entry(entry)
+
+    def total_entries(self) -> int:
+        """Number of entries across every table."""
+        return sum(len(table.entries) for table in self.tables.values())
+
+    def hit_statistics(self) -> Dict[str, Tuple[int, int]]:
+        """Per-table (hits, misses) counters accumulated during simulation."""
+        return {name: (table.hit_count, table.miss_count) for name, table in self.tables.items()}

@@ -1,0 +1,122 @@
+"""dsim: the RMT simulation driver (paper §3.3).
+
+:class:`RMTSimulator` glues the pieces together: it takes a compiled pipeline
+description (from dgen), an input PHV trace (usually from the traffic
+generator), runs the feedforward pipeline tick by tick, and returns the
+output trace together with the final state vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..dgen.emit import PipelineDescription
+from ..errors import SimulationError
+from .phv import PHV
+from .pipeline import Pipeline
+from .trace import Trace
+from .traffic import TrafficGenerator
+
+
+@dataclass
+class SimulationResult:
+    """Everything a simulation run produces.
+
+    Attributes
+    ----------
+    input_trace:
+        The PHV values fed into the pipeline, in input order.
+    output_trace:
+        The output trace: one record per input PHV (same order), plus the
+        final per-stage state vectors.
+    ticks:
+        Number of simulation ticks executed (inputs + pipeline drain).
+    """
+
+    input_trace: List[List[int]]
+    output_trace: Trace
+    ticks: int
+
+    @property
+    def outputs(self) -> List[tuple]:
+        """Output container tuples in input order."""
+        return self.output_trace.outputs()
+
+    @property
+    def final_state(self) -> Optional[List[List[List[int]]]]:
+        """Final state vectors, indexed ``[stage][slot][state_var]``."""
+        return self.output_trace.final_state
+
+
+class RMTSimulator:
+    """Runs PHV traces through a compiled pipeline description."""
+
+    def __init__(
+        self,
+        description: PipelineDescription,
+        runtime_values: Optional[Dict[str, int]] = None,
+        initial_state: Optional[List[List[List[int]]]] = None,
+    ):
+        self.description = description
+        self._runtime_values = runtime_values
+        self._initial_state = initial_state
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, phv_values: Sequence[Sequence[int]]) -> SimulationResult:
+        """Simulate the pipeline on an explicit input trace."""
+        pipeline = Pipeline(
+            self.description,
+            runtime_values=self._runtime_values,
+            initial_state=self._initial_state_copy(),
+        )
+        inputs = [list(values) for values in phv_values]
+        exited: List[PHV] = pipeline.process(inputs)
+        if len(exited) != len(inputs):
+            raise SimulationError(
+                f"pipeline emitted {len(exited)} PHVs for {len(inputs)} inputs"
+            )
+
+        trace = Trace()
+        for phv, input_values in zip(exited, inputs):
+            trace.append(phv.phv_id, input_values, phv.snapshot())
+        trace.final_state = pipeline.state_snapshot()
+        return SimulationResult(
+            input_trace=inputs,
+            output_trace=trace,
+            ticks=pipeline.current_tick,
+        )
+
+    def run_traffic(self, generator: TrafficGenerator, count: int) -> SimulationResult:
+        """Generate ``count`` random PHVs with ``generator`` and simulate them."""
+        if generator.num_containers != self.description.spec.width:
+            raise SimulationError(
+                f"traffic generator produces {generator.num_containers} containers, "
+                f"pipeline width is {self.description.spec.width}"
+            )
+        return self.run(generator.generate(count))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _initial_state_copy(self) -> Optional[List[List[List[int]]]]:
+        if self._initial_state is None:
+            return None
+        return [[list(alu) for alu in stage] for stage in self._initial_state]
+
+
+def simulate(
+    description: PipelineDescription,
+    phv_values: Sequence[Sequence[int]],
+    runtime_values: Optional[Dict[str, int]] = None,
+    initial_state: Optional[List[List[List[int]]]] = None,
+) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`RMTSimulator`."""
+    simulator = RMTSimulator(
+        description,
+        runtime_values=runtime_values,
+        initial_state=initial_state,
+    )
+    return simulator.run(phv_values)

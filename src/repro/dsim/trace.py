@@ -1,0 +1,81 @@
+"""Input and output traces.
+
+"Following simulation, an output trace shows the modified PHVs and the state
+vectors" (paper §3.3).  Traces are the artefacts the compiler-testing
+workflow compares: the pipeline's output trace against the trace produced by
+the high-level specification on the same input trace (Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One PHV's journey: its identifier, input values and output values."""
+
+    phv_id: int
+    inputs: tuple
+    outputs: tuple
+
+    @property
+    def num_containers(self) -> int:
+        """Number of PHV containers recorded."""
+        return len(self.inputs)
+
+
+@dataclass
+class Trace:
+    """An ordered collection of :class:`TraceRecord` plus final state vectors.
+
+    ``final_state`` is indexed ``[stage][slot][state_var]`` for pipeline
+    traces; specification traces store their own state representation in
+    ``spec_state`` (a plain dictionary) since a specification has no notion
+    of stages.
+    """
+
+    records: List[TraceRecord] = field(default_factory=list)
+    final_state: Optional[List[List[List[int]]]] = None
+    spec_state: Optional[Dict[str, int]] = None
+
+    def append(self, phv_id: int, inputs: Sequence[int], outputs: Sequence[int]) -> None:
+        """Record one PHV's input and output container values."""
+        self.records.append(
+            TraceRecord(phv_id=phv_id, inputs=tuple(inputs), outputs=tuple(outputs))
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self.records[index]
+
+    def outputs(self) -> List[tuple]:
+        """All output container tuples in input order."""
+        return [record.outputs for record in self.records]
+
+    def inputs(self) -> List[tuple]:
+        """All input container tuples in input order."""
+        return [record.inputs for record in self.records]
+
+    def container_series(self, container: int) -> List[int]:
+        """The sequence of output values of one container across the trace."""
+        return [record.outputs[container] for record in self.records]
+
+    def format(self, limit: int = 20) -> str:
+        """Human-readable rendering of the first ``limit`` records (CLI output)."""
+        lines = ["phv_id  inputs -> outputs"]
+        for record in self.records[:limit]:
+            lines.append(f"{record.phv_id:6d}  {list(record.inputs)} -> {list(record.outputs)}")
+        if len(self.records) > limit:
+            lines.append(f"... ({len(self.records) - limit} more records)")
+        if self.final_state is not None:
+            lines.append(f"final state: {self.final_state}")
+        if self.spec_state is not None:
+            lines.append(f"final state: {self.spec_state}")
+        return "\n".join(lines)

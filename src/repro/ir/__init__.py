@@ -1,0 +1,18 @@
+"""Lightweight IR used by dgen to build and render pipeline descriptions."""
+
+from .nodes import Assign, Comment, ExprStmt, FunctionDef, If, IRStmt, Module, Pass, Return
+from .printer import count_source_lines, to_source
+
+__all__ = [
+    "Assign",
+    "Comment",
+    "ExprStmt",
+    "FunctionDef",
+    "If",
+    "IRStmt",
+    "Module",
+    "Pass",
+    "Return",
+    "to_source",
+    "count_source_lines",
+]

@@ -1,0 +1,121 @@
+"""A small structured IR for the Python code that dgen emits.
+
+The IR deliberately stays close to the shape of the paper's generated Rust
+pipeline descriptions (Figure 6): a module is a sequence of function
+definitions plus module-level assignments; function bodies are assignments,
+``if``/``else`` chains, ``return`` statements and comments.  Expressions are
+carried as Python source strings produced by the code generator — the
+DSL-level optimisation passes (constant propagation, folding, dead-code
+elimination, inlining) run *before* code is lowered to this IR, so the IR
+itself never needs to be rewritten.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+class IRStmt:
+    """Base class for IR statements."""
+
+    __slots__ = ()
+
+
+@dataclass
+class Comment(IRStmt):
+    """A ``#`` comment line (used to annotate the generated pipeline description)."""
+
+    text: str
+
+
+@dataclass
+class Assign(IRStmt):
+    """``target = expression`` where both sides are Python source fragments."""
+
+    target: str
+    expression: str
+
+
+@dataclass
+class Return(IRStmt):
+    """``return expression``."""
+
+    expression: str
+
+
+@dataclass
+class ExprStmt(IRStmt):
+    """A bare expression statement (e.g. a call evaluated for its side effect)."""
+
+    expression: str
+
+
+@dataclass
+class Pass(IRStmt):
+    """A ``pass`` placeholder for empty bodies."""
+
+
+@dataclass
+class If(IRStmt):
+    """An ``if``/``elif``/``else`` chain.
+
+    ``branches`` is a list of (condition source, body) pairs; ``orelse`` is
+    the body of the trailing ``else`` (may be empty, in which case no
+    ``else`` is emitted).
+    """
+
+    branches: List[Tuple[str, List[IRStmt]]]
+    orelse: List[IRStmt] = field(default_factory=list)
+
+
+@dataclass
+class FunctionDef:
+    """A top-level function definition in the generated module."""
+
+    name: str
+    params: List[str]
+    body: List[IRStmt]
+    docstring: Optional[str] = None
+
+
+@dataclass
+class Module:
+    """A generated Python module: a docstring, globals, and function definitions."""
+
+    docstring: Optional[str] = None
+    globals: List[Assign] = field(default_factory=list)
+    functions: List[FunctionDef] = field(default_factory=list)
+    trailer: List[IRStmt] = field(default_factory=list)
+
+    def function_names(self) -> List[str]:
+        """Names of every function defined in the module (in definition order)."""
+        return [function.name for function in self.functions]
+
+    def get_function(self, name: str) -> FunctionDef:
+        """Return the function definition called ``name``.
+
+        Raises ``KeyError`` when the module defines no such function.
+        """
+        for function in self.functions:
+            if function.name == name:
+                return function
+        raise KeyError(name)
+
+    def count_statements(self) -> int:
+        """Total number of IR statements in the module (used by code-size metrics)."""
+
+        def count(statements: Sequence[IRStmt]) -> int:
+            total = 0
+            for statement in statements:
+                total += 1
+                if isinstance(statement, If):
+                    for _cond, body in statement.branches:
+                        total += count(body)
+                    total += count(statement.orelse)
+            return total
+
+        total = len(self.globals) + count(self.trailer)
+        for function in self.functions:
+            total += 1 + count(function.body)
+        return total

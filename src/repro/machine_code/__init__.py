@@ -1,0 +1,32 @@
+"""Machine code: the instruction-set-level configuration of a Druzhba pipeline.
+
+A machine-code *program* is a set of ``(name, unsigned integer)`` pairs.  The
+names identify hardware primitives (ALU holes, input multiplexers, output
+multiplexers) and their position in the pipeline; the integers program their
+behaviour (paper §3.1).
+"""
+
+from .naming import (
+    PrimitiveName,
+    STATEFUL,
+    STATELESS,
+    alu_hole_name,
+    input_mux_name,
+    is_valid_name,
+    output_mux_name,
+    parse_name,
+)
+from .pairs import MachineCode, expected_names
+
+__all__ = [
+    "MachineCode",
+    "PrimitiveName",
+    "expected_names",
+    "alu_hole_name",
+    "input_mux_name",
+    "output_mux_name",
+    "parse_name",
+    "is_valid_name",
+    "STATEFUL",
+    "STATELESS",
+]

@@ -1,0 +1,46 @@
+"""P4-14-like program model, parser and table-dependency analysis (paper §4.1)."""
+
+from .dependency import (
+    ACTION_DEPENDENCY,
+    MATCH_DEPENDENCY,
+    SUCCESSOR_DEPENDENCY,
+    build_dependency_graph,
+    classify_dependency,
+    critical_path,
+    dependency_summary,
+    table_usage,
+)
+from .parser import P4Parser, parse
+from .program import (
+    Action,
+    ControlApply,
+    HeaderInstance,
+    HeaderType,
+    P4Program,
+    PrimitiveCall,
+    Register,
+    Table,
+    TableRead,
+)
+
+__all__ = [
+    "P4Program",
+    "HeaderType",
+    "HeaderInstance",
+    "Action",
+    "PrimitiveCall",
+    "Table",
+    "TableRead",
+    "Register",
+    "ControlApply",
+    "parse",
+    "P4Parser",
+    "build_dependency_graph",
+    "classify_dependency",
+    "table_usage",
+    "critical_path",
+    "dependency_summary",
+    "MATCH_DEPENDENCY",
+    "ACTION_DEPENDENCY",
+    "SUCCESSOR_DEPENDENCY",
+]

@@ -1,0 +1,219 @@
+"""Sample P4-14-like programs used by examples, tests and the dRMT benchmarks."""
+
+from __future__ import annotations
+
+from .parser import parse
+from .program import P4Program
+
+#: A small L3 forwarder: forwarding table, TTL-based ACL and a flow counter
+#: kept in a register.  Exercises match, action and successor dependencies.
+SIMPLE_ROUTER = """
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+
+header_type ipv4_t {
+    fields {
+        srcAddr : 32;
+        dstAddr : 32;
+        ttl : 8;
+        protocol : 8;
+    }
+}
+
+header_type metadata_t {
+    fields {
+        egress_port : 16;
+        flow_index : 16;
+        tmp_count : 32;
+        acl_drop : 8;
+    }
+}
+
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+metadata metadata_t meta;
+
+register flow_counter {
+    width : 32;
+    instance_count : 64;
+}
+
+action set_nhop(port) {
+    modify_field(meta.egress_port, port);
+    subtract_from_field(ipv4.ttl, 1);
+}
+
+action on_miss() {
+    no_op();
+}
+
+action drop_packet() {
+    drop();
+}
+
+action allow() {
+    modify_field(meta.acl_drop, 0);
+}
+
+action count_flow(index) {
+    modify_field(meta.flow_index, index);
+    register_read(meta.tmp_count, flow_counter, index);
+    add_to_field(meta.tmp_count, 1);
+    register_write(flow_counter, index, meta.tmp_count);
+}
+
+table forward {
+    reads {
+        ipv4.dstAddr : lpm;
+    }
+    actions { set_nhop; on_miss; }
+    size : 256;
+    default_action : on_miss;
+}
+
+table acl {
+    reads {
+        meta.egress_port : exact;
+        ipv4.protocol : ternary;
+    }
+    actions { drop_packet; allow; }
+    size : 64;
+    default_action : allow;
+}
+
+table flow_stats {
+    reads {
+        ipv4.srcAddr : exact;
+    }
+    actions { count_flow; on_miss; }
+    size : 64;
+    default_action : on_miss;
+}
+
+control ingress {
+    apply(forward);
+    apply(acl);
+    apply(flow_stats);
+}
+"""
+
+#: Table entries for :data:`SIMPLE_ROUTER` in the dRMT configuration format.
+SIMPLE_ROUTER_ENTRIES = """
+# Forwarding: two /8 prefixes and one more-specific /16.
+add forward ipv4.dstAddr=167772160/8    => set_nhop(1)     # 10.0.0.0/8
+add forward ipv4.dstAddr=3232235520/16  => set_nhop(2)     # 192.168.0.0/16
+add forward ipv4.dstAddr=0/0            => set_nhop(3)     # default route
+
+# ACL: drop protocol 17 (UDP) leaving port 2; allow everything else explicitly on port 1.
+add acl meta.egress_port=2 ipv4.protocol=17&&&255 => drop_packet()
+add acl meta.egress_port=1 ipv4.protocol=0&&&0    => allow()
+
+# Flow statistics for two tracked sources.
+add flow_stats ipv4.srcAddr=42  => count_flow(1)
+add flow_stats ipv4.srcAddr=77  => count_flow(2)
+"""
+
+#: A register-heavy telemetry program with a chain of dependent tables.
+TELEMETRY_PIPELINE = """
+header_type pkt_t {
+    fields {
+        flow_id : 16;
+        size : 16;
+        queue_depth : 16;
+    }
+}
+
+header_type meta_t {
+    fields {
+        bucket : 16;
+        total : 32;
+        alarm : 8;
+    }
+}
+
+header pkt_t pkt;
+metadata meta_t meta;
+
+register byte_totals {
+    width : 32;
+    instance_count : 16;
+}
+
+action pick_bucket(bucket) {
+    modify_field(meta.bucket, bucket);
+}
+
+action accumulate() {
+    register_read(meta.total, byte_totals, meta.bucket);
+    add_to_field(meta.total, pkt.size);
+    register_write(byte_totals, meta.bucket, meta.total);
+}
+
+action raise_alarm() {
+    modify_field(meta.alarm, 1);
+}
+
+action no_alarm() {
+    modify_field(meta.alarm, 0);
+}
+
+table bucketize {
+    reads {
+        pkt.flow_id : exact;
+    }
+    actions { pick_bucket; }
+    size : 16;
+    default_action : pick_bucket;
+}
+
+table accounting {
+    reads {
+        meta.bucket : exact;
+    }
+    actions { accumulate; }
+    size : 16;
+    default_action : accumulate;
+}
+
+table alarms {
+    reads {
+        pkt.queue_depth : ternary;
+    }
+    actions { raise_alarm; no_alarm; }
+    size : 8;
+    default_action : no_alarm;
+}
+
+control ingress {
+    apply(bucketize);
+    apply(accounting);
+    apply(alarms);
+}
+"""
+
+#: Table entries for :data:`TELEMETRY_PIPELINE`.
+TELEMETRY_ENTRIES = """
+add bucketize pkt.flow_id=1 => pick_bucket(1)
+add bucketize pkt.flow_id=2 => pick_bucket(2)
+add bucketize pkt.flow_id=3 => pick_bucket(3)
+add accounting meta.bucket=1 => accumulate()
+add accounting meta.bucket=2 => accumulate()
+add accounting meta.bucket=3 => accumulate()
+add accounting meta.bucket=0 => accumulate()
+add alarms pkt.queue_depth=65280&&&65280 => raise_alarm()
+"""
+
+
+def simple_router() -> P4Program:
+    """Parsed :data:`SIMPLE_ROUTER` program."""
+    return parse(SIMPLE_ROUTER, name="simple_router")
+
+
+def telemetry_pipeline() -> P4Program:
+    """Parsed :data:`TELEMETRY_PIPELINE` program."""
+    return parse(TELEMETRY_PIPELINE, name="telemetry_pipeline")

@@ -1,0 +1,90 @@
+"""The 12 packet-processing programs of the paper's evaluation (Table 1).
+
+Every program bundles the pipeline dimensions and stateful atom reported in
+Table 1, an executable high-level specification, the machine code a compiler
+targeting Druzhba produces for it, the workload's traffic model and any
+non-zero initial state.  ``TABLE1_ORDER`` preserves the row order of the
+paper's table.
+"""
+
+from typing import Dict, List
+
+from ..errors import DruzhbaError
+from .base import BenchmarkProgram
+from . import (
+    blue_decrease,
+    blue_increase,
+    conga,
+    flowlets,
+    learn_filter,
+    marple_new_flow,
+    marple_tcp_nmo,
+    rcp,
+    sampling,
+    snap_heavy_hitter,
+    spam_detection,
+    stateful_firewall,
+)
+
+#: Row order of Table 1 in the paper.
+TABLE1_ORDER: List[str] = [
+    "blue_decrease",
+    "blue_increase",
+    "sampling",
+    "marple_new_flow",
+    "marple_tcp_nmo",
+    "snap_heavy_hitter",
+    "stateful_firewall",
+    "flowlets",
+    "learn_filter",
+    "rcp",
+    "conga",
+    "spam_detection",
+]
+
+_REGISTRY: Dict[str, BenchmarkProgram] = {
+    module.PROGRAM.name: module.PROGRAM
+    for module in (
+        blue_decrease,
+        blue_increase,
+        sampling,
+        marple_new_flow,
+        marple_tcp_nmo,
+        snap_heavy_hitter,
+        stateful_firewall,
+        flowlets,
+        learn_filter,
+        rcp,
+        conga,
+        spam_detection,
+    )
+}
+
+
+def program_names() -> List[str]:
+    """All benchmark program names, in Table 1 row order."""
+    return list(TABLE1_ORDER)
+
+
+def get_program(name: str) -> BenchmarkProgram:
+    """Look up a benchmark program by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise DruzhbaError(
+            f"unknown benchmark program {name!r}; known programs: {', '.join(TABLE1_ORDER)}"
+        ) from None
+
+
+def all_programs() -> List[BenchmarkProgram]:
+    """Every benchmark program, in Table 1 row order."""
+    return [_REGISTRY[name] for name in TABLE1_ORDER]
+
+
+__all__ = [
+    "BenchmarkProgram",
+    "TABLE1_ORDER",
+    "program_names",
+    "get_program",
+    "all_programs",
+]

@@ -1,0 +1,82 @@
+"""BLUE (decrease) (Table 1: pipeline 4x2, ``sub``).
+
+The decrease half of BLUE: when the link is idle (modelled as one event per
+packet of this workload), the marking probability shrinks by ``DELTA2`` as
+long as it is still positive.  The single accumulator lives in a ``sub``
+atom, whose machine-code-selected arithmetic operator supplies the
+subtraction.
+
+PHV layout (width 2):
+
+====  =====================  =====================================
+container  input              output
+====  =====================  =====================================
+0      event timestamp        unchanged
+1      (unused)               ``p_mark`` *before* this event
+====  =====================  =====================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..chipmunk.allocation import MachineCodeBuilder
+from ..machine_code import naming
+from .base import BenchmarkProgram
+
+#: Marking-probability decrement applied per idle event.
+DELTA2 = 10
+#: Initial scaled marking probability.
+INITIAL_P_MARK = 500
+
+DOMINO_SOURCE = """
+state p_mark = 500;
+
+transaction blue_decrease {
+    pkt.p_mark_out = p_mark;
+    if (p_mark > 0) {
+        p_mark = p_mark - 10;
+    }
+}
+"""
+
+
+def spec(phv: List[int], state: Dict[str, int]) -> List[int]:
+    """Reference behaviour: decrease the marking probability while it stays positive."""
+    outputs = list(phv)
+    outputs[1] = state["p_mark"]
+    if state["p_mark"] > 0:
+        state["p_mark"] = state["p_mark"] - DELTA2
+    return outputs
+
+
+def build(builder: MachineCodeBuilder) -> None:
+    """Place the BLUE decrease update onto the sub atom at stage 0."""
+    builder.configure_sub(
+        stage=0,
+        slot=0,
+        cond=(">", True, ("const", 0)),        # p_mark > 0
+        then=("-", True, ("const", DELTA2)),   # p_mark -= DELTA2
+        els=("+", True, ("const", 0)),         # unchanged
+        input_containers=[0, 0],
+    )
+    builder.route_output(stage=0, container=1, kind=naming.STATEFUL, slot=0)
+
+
+PROGRAM = BenchmarkProgram(
+    name="blue_decrease",
+    display_name="BLUE (decrease)",
+    depth=4,
+    width=2,
+    stateful_atom="sub",
+    description=(
+        "Integer rendition of BLUE's marking-probability decrease: subtract a fixed step "
+        "per idle event while the probability remains positive."
+    ),
+    spec_function=spec,
+    build_machine_code=build,
+    state_template={"p_mark": INITIAL_P_MARK},
+    relevant_containers=[1],
+    initial_stateful_values={(0, 0): [INITIAL_P_MARK]},
+    domino_source=DOMINO_SOURCE,
+)

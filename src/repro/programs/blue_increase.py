@@ -1,0 +1,95 @@
+"""BLUE (increase) (Table 1: pipeline 4x2, ``pair``).
+
+The BLUE active-queue-management algorithm raises its marking probability
+when congestion events arrive.  The integer rendition used here (Druzhba
+models unsigned integer containers, not floats) keeps the marking probability
+``p_mark`` as a scaled integer together with the time of the last update:
+on every congestion-event packet, if time has advanced since the last update
+and ``p_mark`` is still below its cap, ``p_mark`` grows by ``DELTA1`` and the
+update time is refreshed.
+
+PHV layout (width 2):
+
+====  =====================  =====================================
+container  input              output
+====  =====================  =====================================
+0      event timestamp        unchanged
+1      (unused)               ``p_mark`` *before* this event
+====  =====================  =====================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..chipmunk.allocation import MachineCodeBuilder
+from ..machine_code import naming
+from .base import BenchmarkProgram
+
+#: Marking-probability increment applied per accepted congestion event.
+DELTA1 = 25
+#: Upper bound on the scaled marking probability.
+P_MARK_MAX = 900
+
+DOMINO_SOURCE = """
+state p_mark = 0;
+state last_update = 0;
+
+transaction blue_increase {
+    pkt.p_mark_out = p_mark;
+    if (last_update < pkt.now && p_mark <= 900) {
+        p_mark = p_mark + 25;
+        last_update = pkt.now;
+    }
+}
+"""
+
+
+def spec(phv: List[int], state: Dict[str, int]) -> List[int]:
+    """Reference behaviour: bounded additive increase of the marking probability."""
+    outputs = list(phv)
+    outputs[1] = state["p_mark"]
+    if state["last_update"] < phv[0] and state["p_mark"] <= P_MARK_MAX:
+        state["p_mark"] = state["p_mark"] + DELTA1
+        state["last_update"] = phv[0]
+    return outputs
+
+
+def build(builder: MachineCodeBuilder) -> None:
+    """Place the BLUE increase update onto the pair atom at stage 0."""
+    builder.configure_pair(
+        stage=0,
+        slot=0,
+        cond0=(1, "<", ("pkt", 0)),           # last_update < now
+        cond1=(0, "<=", ("const", P_MARK_MAX)),  # p_mark <= cap
+        combine="&&",
+        then_updates=(
+            (("state", 0), "+", ("const", DELTA1)),  # p_mark += DELTA1
+            (("const", 0), "+", ("pkt", 0)),         # last_update = now
+        ),
+        else_updates=(
+            (("state", 0), "+", ("const", 0)),
+            (("state", 1), "+", ("const", 0)),
+        ),
+        input_containers=[0, 0],
+    )
+    builder.route_output(stage=0, container=1, kind=naming.STATEFUL, slot=0)
+
+
+PROGRAM = BenchmarkProgram(
+    name="blue_increase",
+    display_name="BLUE (increase)",
+    depth=4,
+    width=2,
+    stateful_atom="pair",
+    description=(
+        "Integer rendition of BLUE's marking-probability increase: on each congestion "
+        "event, if time advanced since the last update and the probability is below its "
+        "cap, increase it by a fixed step and record the event time."
+    ),
+    spec_function=spec,
+    build_machine_code=build,
+    state_template={"p_mark": 0, "last_update": 0},
+    relevant_containers=[1],
+    domino_source=DOMINO_SOURCE,
+)

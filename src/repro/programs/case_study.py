@@ -1,0 +1,205 @@
+"""Case-study harness (paper §5.2).
+
+The paper validates "over 120 Chipmunk machine code programs" through Druzhba
+and reports 8 failures: 2 caused by missing machine-code pairs for the
+output multiplexers and 6 caused by machine code that only satisfied a
+limited range of container values (synthesis trained on narrow inputs).
+
+This harness rebuilds a corpus of comparable shape:
+
+* **correct programs** — the 12 Table-1 programs plus four parametric
+  families (sampling periods, accumulator increments, comparison thresholds
+  and BLUE decrements) from :mod:`repro.programs.variants`, each with machine
+  code produced by the grid compiler and an independent specification;
+* **injected failures** — 2 corpus members with their output-multiplexer
+  pairs removed, and 6 threshold programs whose machine code uses a constant
+  capped at 100 while the specification's threshold lies above it.
+
+Every corpus member is fuzzed over the full 10-bit input range and the
+outcomes are aggregated into a :class:`CampaignSummary`, which the benchmark
+and the example print next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..machine_code.pairs import MachineCode
+from ..testing.fuzzer import FuzzConfig, FuzzTester
+from ..testing.report import CampaignSummary, FailureClass, FuzzOutcome
+from . import all_programs
+from .base import BenchmarkProgram
+from .variants import (
+    make_accumulator_variant,
+    make_blue_decrease_variant,
+    make_sampling_variant,
+    make_threshold_variant,
+)
+
+#: Specification thresholds of the six injected value-range failures; the
+#: machine code for each is built with the constant capped at 100.
+VALUE_RANGE_THRESHOLDS = (150, 200, 300, 400, 500, 600)
+#: Constant the "under-synthesised" machine code actually uses.
+VALUE_RANGE_CAP = 100
+
+
+@dataclass
+class CorpusEntry:
+    """One machine-code program of the case-study corpus."""
+
+    program: BenchmarkProgram
+    machine_code: MachineCode
+    expected: FailureClass
+    family: str
+
+
+@dataclass
+class CaseStudyResult:
+    """Outcome of one full case-study campaign."""
+
+    summary: CampaignSummary
+    entries: List[CorpusEntry]
+    outcomes: List[FuzzOutcome]
+    per_family: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def total_programs(self) -> int:
+        """Corpus size (the paper's "over 120 machine code programs")."""
+        return len(self.entries)
+
+    def expected_matches_observed(self) -> bool:
+        """True when every program's observed class equals its expected class."""
+        return all(
+            outcome.failure_class is entry.expected
+            for entry, outcome in zip(self.entries, self.outcomes)
+        )
+
+    def table(self) -> List[Dict[str, object]]:
+        """Rows comparing the paper's counts with the reproduction's counts."""
+        observed_missing = self.summary.count(FailureClass.MISSING_MACHINE_CODE)
+        observed_range = self.summary.count(FailureClass.VALUE_RANGE)
+        return [
+            {
+                "quantity": "machine code programs tested",
+                "paper": "over 120",
+                "reproduced": self.total_programs,
+            },
+            {
+                "quantity": "programs validated correct",
+                "paper": "over 120",
+                "reproduced": self.summary.passed,
+            },
+            {"quantity": "total failures", "paper": 8, "reproduced": self.summary.failed},
+            {
+                "quantity": "failures: missing machine code pairs (output muxes)",
+                "paper": 2,
+                "reproduced": observed_missing,
+            },
+            {
+                "quantity": "failures: limited value range (values over 100)",
+                "paper": 6,
+                "reproduced": observed_range,
+            },
+        ]
+
+
+def build_corpus() -> List[CorpusEntry]:
+    """Assemble the full corpus: correct programs plus the eight injected failures."""
+    entries: List[CorpusEntry] = []
+
+    for program in all_programs():
+        entries.append(
+            CorpusEntry(program, program.machine_code(), FailureClass.CORRECT, family="table1")
+        )
+
+    for period in range(2, 32):
+        program = make_sampling_variant(period)
+        entries.append(
+            CorpusEntry(program, program.machine_code(), FailureClass.CORRECT, family="sampling")
+        )
+    for increment in range(1, 31):
+        program = make_accumulator_variant(increment)
+        entries.append(
+            CorpusEntry(program, program.machine_code(), FailureClass.CORRECT, family="accumulator")
+        )
+    for threshold in range(10, 910, 30):
+        program = make_threshold_variant(threshold)
+        entries.append(
+            CorpusEntry(program, program.machine_code(), FailureClass.CORRECT, family="threshold")
+        )
+    for delta in range(1, 31):
+        program = make_blue_decrease_variant(delta)
+        entries.append(
+            CorpusEntry(program, program.machine_code(), FailureClass.CORRECT, family="blue")
+        )
+
+    # Failure injection 1 (2 programs): machine code files missing the pairs
+    # that programme the output multiplexers (paper: "2 failures were due to
+    # missing machine code pairs ... to program the behavior of the
+    # pipeline's output multiplexers").
+    for index in range(2):
+        program = make_accumulator_variant(100 + index)
+        machine_code = program.machine_code()
+        output_pairs = [name for name in machine_code if "output_mux" in name]
+        entries.append(
+            CorpusEntry(
+                program,
+                machine_code.without(output_pairs),
+                FailureClass.MISSING_MACHINE_CODE,
+                family="injected_missing_pairs",
+            )
+        )
+
+    # Failure injection 2 (6 programs): machine code whose comparison constant
+    # was synthesised against narrow inputs, so it only satisfies container
+    # values up to 100 (paper: "insufficient machine code values that led to
+    # the pipeline simulation failing for large PHV container values over 100").
+    for threshold in VALUE_RANGE_THRESHOLDS:
+        program = make_threshold_variant(threshold, machine_code_threshold=VALUE_RANGE_CAP)
+        entries.append(
+            CorpusEntry(
+                program,
+                program.machine_code(),
+                FailureClass.VALUE_RANGE,
+                family="injected_value_range",
+            )
+        )
+
+    return entries
+
+
+def run_case_study(
+    num_phvs: int = 300,
+    seed: int = 0,
+    opt_level: int = 2,
+    entries: Optional[List[CorpusEntry]] = None,
+) -> CaseStudyResult:
+    """Fuzz every corpus entry and aggregate the outcomes."""
+    if entries is None:
+        entries = build_corpus()
+    summary = CampaignSummary()
+    outcomes: List[FuzzOutcome] = []
+    per_family: Dict[str, List[int]] = {}
+
+    for index, entry in enumerate(entries):
+        program = entry.program
+        tester = FuzzTester(
+            program.pipeline_spec(),
+            program.specification(),
+            config=FuzzConfig(num_phvs=num_phvs, seed=seed + index, opt_level=opt_level),
+            traffic_generator=program.traffic_generator(seed=seed + index),
+            initial_state=program.initial_pipeline_state(),
+        )
+        outcome = tester.test(entry.machine_code)
+        summary.add(outcome)
+        outcomes.append(outcome)
+        passed, total = per_family.get(entry.family, [0, 0])
+        per_family[entry.family] = [passed + (1 if outcome.passed else 0), total + 1]
+
+    return CaseStudyResult(
+        summary=summary,
+        entries=entries,
+        outcomes=outcomes,
+        per_family={family: (passed, total) for family, (passed, total) in per_family.items()},
+    )

@@ -1,0 +1,114 @@
+"""Flowlet switching (Table 1: pipeline 4x5, ``pred_raw``).
+
+Flowlet switching splits a flow into bursts ("flowlets") separated by idle
+gaps and may re-route each new flowlet.  The data-plane kernel detects the
+gap: a packet starts a new flowlet when its arrival time exceeds the last
+recorded arrival time by more than the flowlet gap.
+
+PHV layout (width 5):
+
+====  =====================  =====================================
+container  input              output
+====  =====================  =====================================
+0      arrival time           unchanged
+1      (unused)               arrival time minus the flowlet gap
+2      (unused)               last recorded time *before* this packet
+3      (unused)               1 when this packet starts a new flowlet
+4      (unused)               unchanged
+====  =====================  =====================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..chipmunk.allocation import MachineCodeBuilder
+from ..machine_code import naming
+from .base import BenchmarkProgram
+
+#: Idle gap (in time units) that separates two flowlets.
+FLOWLET_GAP = 50
+
+DOMINO_SOURCE = """
+state last_time = 0;
+
+transaction flowlets {
+    adjusted = pkt.now - 50;
+    pkt.last_time_out = last_time;
+    if (last_time < adjusted) {
+        pkt.new_flowlet = 1;
+        last_time = pkt.now;
+    } else {
+        pkt.new_flowlet = 0;
+    }
+}
+"""
+
+
+def spec(phv: List[int], state: Dict[str, int]) -> List[int]:
+    """Reference behaviour: flag packets that arrive after an idle gap."""
+    outputs = list(phv)
+    now = phv[0]
+    adjusted = now - FLOWLET_GAP
+    old_last = state["last_time"]
+    if state["last_time"] < adjusted:
+        state["last_time"] = now
+    outputs[1] = adjusted
+    outputs[2] = old_last
+    outputs[3] = 1 if old_last < adjusted else 0
+    return outputs
+
+
+def build(builder: MachineCodeBuilder) -> None:
+    """Place flowlet detection onto the 4x5 pipeline."""
+    # Stage 0: adjusted arrival time = now - FLOWLET_GAP.
+    builder.configure_stateless_full(
+        stage=0,
+        slot=0,
+        mode="arith",
+        op="-",
+        a=("pkt", 0),
+        b=("const", FLOWLET_GAP),
+        input_containers=[0, 0],
+    )
+    builder.route_output(stage=0, container=1, kind=naming.STATELESS, slot=0)
+    # Stage 1: refresh the last arrival time when the gap was exceeded;
+    # expose the previous value.
+    builder.configure_pred_raw(
+        stage=1,
+        slot=0,
+        cond=("<", True, ("pkt", 0)),     # last_time < adjusted
+        update=("+", False, ("pkt", 1)),  # last_time = now
+        input_containers=[1, 0],
+    )
+    builder.route_output(stage=1, container=2, kind=naming.STATEFUL, slot=0)
+    # Stage 2: new flowlet = (previous last_time < adjusted).
+    builder.configure_stateless_full(
+        stage=2,
+        slot=0,
+        mode="rel",
+        op="<",
+        a=("pkt", 0),
+        b=("pkt", 1),
+        input_containers=[2, 1],
+    )
+    builder.route_output(stage=2, container=3, kind=naming.STATELESS, slot=0)
+
+
+PROGRAM = BenchmarkProgram(
+    name="flowlets",
+    display_name="Flowlets",
+    depth=4,
+    width=5,
+    stateful_atom="pred_raw",
+    description=(
+        "Flowlet-gap detection: a packet starts a new flowlet when its arrival time "
+        "exceeds the last recorded arrival time by more than the flowlet gap, in which "
+        "case the recorded time is refreshed."
+    ),
+    spec_function=spec,
+    build_machine_code=build,
+    state_template={"last_time": 0},
+    relevant_containers=[1, 2, 3],
+    domino_source=DOMINO_SOURCE,
+)

@@ -1,0 +1,86 @@
+"""Learning filter (Table 1: pipeline 3x5, ``raw``).
+
+The Domino learn-filter example feeds three independent hash values of a flow
+key into three counting-Bloom-filter banks, one per stage.  Without match
+tables or memories, each bank reduces to an accumulator updated by a ``raw``
+atom; the packet carries the three precomputed hash values.
+
+PHV layout (width 5):
+
+====  =====================  =====================================
+container  input              output
+====  =====================  =====================================
+0      hash value 0           bank-0 accumulator *before* this packet
+1      hash value 1           bank-1 accumulator *before* this packet
+2      hash value 2           bank-2 accumulator *before* this packet
+3, 4   (unused)               unchanged
+====  =====================  =====================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..chipmunk.allocation import MachineCodeBuilder
+from ..machine_code import naming
+from .base import BenchmarkProgram
+
+DOMINO_SOURCE = """
+state bank0 = 0;
+state bank1 = 0;
+state bank2 = 0;
+
+transaction learn_filter {
+    pkt.out0 = bank0;
+    pkt.out1 = bank1;
+    pkt.out2 = bank2;
+    bank0 = bank0 + pkt.h0;
+    bank1 = bank1 + pkt.h1;
+    bank2 = bank2 + pkt.h2;
+}
+"""
+
+
+def spec(phv: List[int], state: Dict[str, int]) -> List[int]:
+    """Reference behaviour: three accumulators, one per hash bank."""
+    outputs = list(phv)
+    outputs[0] = state["bank0"]
+    outputs[1] = state["bank1"]
+    outputs[2] = state["bank2"]
+    state["bank0"] = state["bank0"] + phv[0]
+    state["bank1"] = state["bank1"] + phv[1]
+    state["bank2"] = state["bank2"] + phv[2]
+    return outputs
+
+
+def build(builder: MachineCodeBuilder) -> None:
+    """Place the three filter banks onto stages 0-2 of the 3x5 pipeline."""
+    for stage in range(3):
+        builder.configure_raw(
+            stage=stage,
+            slot=0,
+            use_state=True,
+            rhs=("pkt", 0),
+            input_containers=[stage, stage],
+        )
+        builder.route_output(stage=stage, container=stage, kind=naming.STATEFUL, slot=0)
+
+
+PROGRAM = BenchmarkProgram(
+    name="learn_filter",
+    display_name="Learn filter",
+    depth=3,
+    width=5,
+    stateful_atom="raw",
+    description=(
+        "Learning-filter accumulators: three hash banks, one per stage, each adding the "
+        "packet's corresponding hash value to its running total and exposing the "
+        "pre-update total."
+    ),
+    spec_function=spec,
+    build_machine_code=build,
+    state_template={"bank0": 0, "bank1": 0, "bank2": 0},
+    relevant_containers=[0, 1, 2],
+    traffic_max_value=255,
+    domino_source=DOMINO_SOURCE,
+)

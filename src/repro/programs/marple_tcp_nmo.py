@@ -1,0 +1,108 @@
+"""Marple TCP non-monotonic offset (Table 1: pipeline 3x2, ``pred_raw``).
+
+Marple's TCP NMO query counts packets whose sequence number is not monotone,
+i.e. arrives below the highest sequence number seen so far (a sign of
+reordering or retransmission).  Three stages are used: the first maintains
+the maximum sequence number, the second derives the per-packet
+out-of-order flag, and the third accumulates the out-of-order count.
+
+PHV layout (width 2):
+
+====  =====================  =====================================
+container  input              output
+====  =====================  =====================================
+0      sequence number        out-of-order count *before* this packet
+1      (unused)               1 when this packet is out of order
+====  =====================  =====================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..chipmunk.allocation import MachineCodeBuilder
+from ..machine_code import naming
+from .base import BenchmarkProgram
+
+DOMINO_SOURCE = """
+state maxseq = 0;
+state ooo_count = 0;
+
+transaction marple_tcp_nmo {
+    if (pkt.seq < maxseq) {
+        pkt.ooo = 1;
+    } else {
+        pkt.ooo = 0;
+    }
+    pkt.count_out = ooo_count;
+    if (maxseq < pkt.seq) {
+        maxseq = pkt.seq;
+    }
+    if (pkt.ooo > 0) {
+        ooo_count = ooo_count + 1;
+    }
+}
+"""
+
+
+def spec(phv: List[int], state: Dict[str, int]) -> List[int]:
+    """Reference behaviour: flag and count non-monotonic sequence numbers."""
+    seq = phv[0]
+    flag = 1 if seq < state["maxseq"] else 0
+    old_count = state["ooo_count"]
+    if state["maxseq"] < seq:
+        state["maxseq"] = seq
+    if flag:
+        state["ooo_count"] = state["ooo_count"] + 1
+    return [old_count, flag]
+
+
+def build(builder: MachineCodeBuilder) -> None:
+    """Place the TCP NMO query onto the 3x2 pipeline."""
+    # Stage 0: running maximum of the sequence number; expose the previous maximum.
+    builder.configure_pred_raw(
+        stage=0,
+        slot=0,
+        cond=("<", True, ("pkt", 0)),     # maxseq < seq
+        update=("+", False, ("pkt", 0)),  # maxseq = seq
+        input_containers=[0, 0],
+    )
+    builder.route_output(stage=0, container=1, kind=naming.STATEFUL, slot=0)
+    # Stage 1: out-of-order flag = (seq < previous maximum).
+    builder.configure_stateless_full(
+        stage=1,
+        slot=0,
+        mode="rel",
+        op="<",
+        a=("pkt", 0),
+        b=("pkt", 1),
+        input_containers=[0, 1],
+    )
+    builder.route_output(stage=1, container=1, kind=naming.STATELESS, slot=0)
+    # Stage 2: count flagged packets; expose the previous count.
+    builder.configure_pred_raw(
+        stage=2,
+        slot=0,
+        cond=("<", False, ("pkt", 0)),     # 0 < flag
+        update=("+", True, ("const", 1)),  # ooo_count += 1
+        input_containers=[1, 1],
+    )
+    builder.route_output(stage=2, container=0, kind=naming.STATEFUL, slot=0)
+
+
+PROGRAM = BenchmarkProgram(
+    name="marple_tcp_nmo",
+    display_name="Marple TCP NMO",
+    depth=3,
+    width=2,
+    stateful_atom="pred_raw",
+    description=(
+        "Marple's TCP non-monotonic-offset query: track the maximum sequence number, "
+        "flag packets arriving below it and count how many such packets were seen."
+    ),
+    spec_function=spec,
+    build_machine_code=build,
+    state_template={"maxseq": 0, "ooo_count": 0},
+    relevant_containers=[0, 1],
+    domino_source=DOMINO_SOURCE,
+)

@@ -1,0 +1,118 @@
+"""RCP (Table 1: pipeline 3x3, ``pred_raw``).
+
+The Rate Control Protocol's switch-side computation maintains three running
+aggregates per control interval: the bytes of traffic seen, the sum of RTTs
+carried by packets whose RTT is below a cap, and the number of such packets.
+
+PHV layout (width 3):
+
+====  =====================  =====================================
+container  input              output
+====  =====================  =====================================
+0      packet size            RTT sum *before* this packet
+1      packet RTT             RTT-sample count *before* this packet
+2      (unused)               1 when the packet's RTT is below the cap
+====  =====================  =====================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..chipmunk.allocation import MachineCodeBuilder
+from ..machine_code import naming
+from .base import BenchmarkProgram
+
+#: RTT cap above which samples are ignored (the paper's MAX_ALLOWABLE_RTT).
+MAX_ALLOWABLE_RTT = 500
+
+DOMINO_SOURCE = """
+state input_traffic_bytes = 0;
+state sum_rtt = 0;
+state num_pkts_with_rtt = 0;
+
+transaction rcp {
+    input_traffic_bytes = input_traffic_bytes + pkt.size;
+    pkt.sum_out = sum_rtt;
+    pkt.num_out = num_pkts_with_rtt;
+    if (pkt.rtt < 500) {
+        pkt.sampled = 1;
+        sum_rtt = sum_rtt + pkt.rtt;
+        num_pkts_with_rtt = num_pkts_with_rtt + 1;
+    } else {
+        pkt.sampled = 0;
+    }
+}
+"""
+
+
+def spec(phv: List[int], state: Dict[str, int]) -> List[int]:
+    """Reference behaviour: RCP's per-interval aggregates."""
+    size, rtt = phv[0], phv[1]
+    flag = 1 if rtt < MAX_ALLOWABLE_RTT else 0
+    old_sum = state["sum_rtt"]
+    old_num = state["num_pkts_with_rtt"]
+    state["input_traffic_bytes"] = state["input_traffic_bytes"] + size
+    if flag:
+        state["sum_rtt"] = state["sum_rtt"] + rtt
+        state["num_pkts_with_rtt"] = state["num_pkts_with_rtt"] + 1
+    return [old_sum, old_num, flag]
+
+
+def build(builder: MachineCodeBuilder) -> None:
+    """Place the RCP aggregates onto the 3x3 pipeline."""
+    # Stage 0, stateless slot 0: RTT-below-cap flag.
+    builder.configure_stateless_full(
+        stage=0,
+        slot=0,
+        mode="rel",
+        op="<",
+        a=("pkt", 0),
+        b=("const", MAX_ALLOWABLE_RTT),
+        input_containers=[1, 1],
+    )
+    builder.route_output(stage=0, container=2, kind=naming.STATELESS, slot=0)
+    # Stage 0, stateful slot 1: byte counter (state only; not routed to a container).
+    builder.configure_pred_raw(
+        stage=0,
+        slot=1,
+        cond=(">=", False, ("const", 0)),  # 0 >= 0: always true
+        update=("+", True, ("pkt", 0)),    # bytes += size
+        input_containers=[0, 0],
+    )
+    # Stage 1, stateful slot 0: RTT sum over below-cap packets; expose the previous sum.
+    builder.configure_pred_raw(
+        stage=1,
+        slot=0,
+        cond=("<", False, ("pkt", 0)),   # 0 < flag
+        update=("+", True, ("pkt", 1)),  # sum_rtt += rtt
+        input_containers=[2, 1],
+    )
+    builder.route_output(stage=1, container=0, kind=naming.STATEFUL, slot=0)
+    # Stage 2, stateful slot 0: count of below-cap packets; expose the previous count.
+    builder.configure_pred_raw(
+        stage=2,
+        slot=0,
+        cond=("<", False, ("pkt", 0)),     # 0 < flag
+        update=("+", True, ("const", 1)),  # num += 1
+        input_containers=[2, 2],
+    )
+    builder.route_output(stage=2, container=1, kind=naming.STATEFUL, slot=0)
+
+
+PROGRAM = BenchmarkProgram(
+    name="rcp",
+    display_name="RCP",
+    depth=3,
+    width=3,
+    stateful_atom="pred_raw",
+    description=(
+        "RCP switch-side aggregates: total traffic bytes, the sum of RTTs below a cap and "
+        "the number of packets contributing to that sum."
+    ),
+    spec_function=spec,
+    build_machine_code=build,
+    state_template={"input_traffic_bytes": 0, "sum_rtt": 0, "num_pkts_with_rtt": 0},
+    relevant_containers=[0, 1, 2],
+    domino_source=DOMINO_SOURCE,
+)

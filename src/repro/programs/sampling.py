@@ -1,0 +1,95 @@
+"""Sampling (Table 1: pipeline 2x1, ``if_else_raw``).
+
+Packet sampling from the Domino paper: a counter is incremented per packet
+and every 10th packet is marked as sampled (the counter then wraps to zero).
+This is also the example program of Figure 1 of the Druzhba paper.
+
+PHV layout (width 1):
+
+====  =========================  =================================
+container  input                  output
+====  =========================  =================================
+0      (unused)                   ``pkt.sample`` — 1 on every 10th packet
+====  =========================  =================================
+
+Placement: stage 0's stateful ``if_else_raw`` maintains the counter and
+forwards its *old* value; stage 1's stateless ALU compares that old value
+against 9 to produce the sample flag.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..chipmunk.allocation import MachineCodeBuilder
+from ..machine_code import naming
+from .base import BenchmarkProgram
+
+SAMPLE_EVERY = 10
+
+DOMINO_SOURCE = """
+state count = 0;
+
+transaction sampling {
+    if (count == 9) {
+        pkt.sample = 1;
+        count = 0;
+    } else {
+        pkt.sample = 0;
+        count = count + 1;
+    }
+}
+"""
+
+
+def spec(phv: List[int], state: Dict[str, int]) -> List[int]:
+    """Reference behaviour: mark every ``SAMPLE_EVERY``-th packet."""
+    old_count = state["count"]
+    if state["count"] == SAMPLE_EVERY - 1:
+        state["count"] = 0
+    else:
+        state["count"] = state["count"] + 1
+    return [1 if old_count == SAMPLE_EVERY - 1 else 0]
+
+
+def build(builder: MachineCodeBuilder) -> None:
+    """Place the sampling transaction onto the 2x1 pipeline."""
+    # Stage 0: counter in the stateful ALU; wrap at SAMPLE_EVERY - 1.
+    builder.configure_if_else_raw(
+        stage=0,
+        slot=0,
+        cond=("==", True, ("const", SAMPLE_EVERY - 1)),
+        then=(False, ("const", 0)),
+        els=(True, ("const", 1)),
+        input_containers=[0, 0],
+    )
+    builder.route_output(stage=0, container=0, kind=naming.STATEFUL, slot=0)
+    # Stage 1: sample flag = (old counter == SAMPLE_EVERY - 1).
+    builder.configure_stateless_full(
+        stage=1,
+        slot=0,
+        mode="rel",
+        op="==",
+        a=("pkt", 0),
+        b=("const", SAMPLE_EVERY - 1),
+        input_containers=[0, 0],
+    )
+    builder.route_output(stage=1, container=0, kind=naming.STATELESS, slot=0)
+
+
+PROGRAM = BenchmarkProgram(
+    name="sampling",
+    display_name="Sampling",
+    depth=2,
+    width=1,
+    stateful_atom="if_else_raw",
+    description=(
+        "Per-packet counter that marks every 10th packet as sampled and wraps to zero "
+        "(the Domino-paper sampling transaction; the running example of Figure 1)."
+    ),
+    spec_function=spec,
+    build_machine_code=build,
+    state_template={"count": 0},
+    relevant_containers=[0],
+    domino_source=DOMINO_SOURCE,
+)

@@ -1,0 +1,84 @@
+"""SNAP heavy hitter (Table 1: pipeline 1x1, ``pair``).
+
+The SNAP heavy-hitter monitor keeps per-traffic-aggregate packet and byte
+counters.  Druzhba models a single aggregate (there are no match tables in
+the RMT instruction-set model), so the program maintains one packet counter
+and one byte counter in the two state variables of a ``pair`` atom and
+exposes the packet count in the output trace.
+
+PHV layout (width 1):
+
+====  =================  ======================================
+container  input          output
+====  =================  ======================================
+0      packet length      packet count *before* this packet
+====  =================  ======================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..chipmunk.allocation import MachineCodeBuilder
+from ..machine_code import naming
+from .base import BenchmarkProgram
+
+DOMINO_SOURCE = """
+state pkts = 0;
+state bytes = 0;
+
+transaction snap_heavy_hitter {
+    pkt.count_out = pkts;
+    pkts = pkts + 1;
+    bytes = bytes + pkt.len;
+}
+"""
+
+
+def spec(phv: List[int], state: Dict[str, int]) -> List[int]:
+    """Reference behaviour: count packets and bytes, expose the old packet count."""
+    old_count = state["pkts"]
+    state["pkts"] = state["pkts"] + 1
+    state["bytes"] = state["bytes"] + phv[0]
+    return [old_count]
+
+
+def build(builder: MachineCodeBuilder) -> None:
+    """Place the heavy-hitter counters onto the 1x1 pipeline's pair atom."""
+    builder.configure_pair(
+        stage=0,
+        slot=0,
+        cond0=None,
+        cond1=None,
+        combine="&&",
+        then_updates=(
+            (("state", 0), "+", ("const", 1)),  # pkts += 1
+            (("state", 1), "+", ("pkt", 0)),    # bytes += len
+        ),
+        else_updates=(
+            (("state", 0), "+", ("const", 0)),
+            (("state", 1), "+", ("const", 0)),
+        ),
+        input_containers=[0, 0],
+    )
+    builder.route_output(stage=0, container=0, kind=naming.STATEFUL, slot=0)
+
+
+PROGRAM = BenchmarkProgram(
+    name="snap_heavy_hitter",
+    display_name="SNAP heavy hitter",
+    depth=1,
+    width=1,
+    stateful_atom="pair",
+    description=(
+        "Packet and byte counters for a traffic aggregate (SNAP's heavy-hitter monitor), "
+        "held in the two state variables of a pair atom; the packet count before the "
+        "current packet is written into the output trace."
+    ),
+    spec_function=spec,
+    build_machine_code=build,
+    state_template={"pkts": 0, "bytes": 0},
+    relevant_containers=[0],
+    traffic_max_value=1500,
+    domino_source=DOMINO_SOURCE,
+)

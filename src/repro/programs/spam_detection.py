@@ -1,0 +1,82 @@
+"""Spam detection (Table 1: pipeline 1x1, ``pair``).
+
+The SNAP spam-detection example accumulates a per-sender spam score and a
+message count; a control-plane policy later thresholds the totals.  As with
+the heavy-hitter program, the data-plane part reduces to two accumulators in
+a ``pair`` atom.
+
+PHV layout (width 1):
+
+====  ====================  =====================================
+container  input             output
+====  ====================  =====================================
+0      per-message score     accumulated score *before* this message
+====  ====================  =====================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..chipmunk.allocation import MachineCodeBuilder
+from ..machine_code import naming
+from .base import BenchmarkProgram
+
+DOMINO_SOURCE = """
+state score = 0;
+state messages = 0;
+
+transaction spam_detection {
+    pkt.score_out = score;
+    score = score + pkt.score;
+    messages = messages + 1;
+}
+"""
+
+
+def spec(phv: List[int], state: Dict[str, int]) -> List[int]:
+    """Reference behaviour: accumulate score and message count, expose the old score."""
+    old_score = state["score"]
+    state["score"] = state["score"] + phv[0]
+    state["messages"] = state["messages"] + 1
+    return [old_score]
+
+
+def build(builder: MachineCodeBuilder) -> None:
+    """Place the spam-score accumulators onto the 1x1 pipeline's pair atom."""
+    builder.configure_pair(
+        stage=0,
+        slot=0,
+        cond0=None,
+        cond1=None,
+        combine="&&",
+        then_updates=(
+            (("state", 0), "+", ("pkt", 0)),   # score += pkt.score
+            (("state", 1), "+", ("const", 1)),  # messages += 1
+        ),
+        else_updates=(
+            (("state", 0), "+", ("const", 0)),
+            (("state", 1), "+", ("const", 0)),
+        ),
+        input_containers=[0, 0],
+    )
+    builder.route_output(stage=0, container=0, kind=naming.STATEFUL, slot=0)
+
+
+PROGRAM = BenchmarkProgram(
+    name="spam_detection",
+    display_name="Spam detection",
+    depth=1,
+    width=1,
+    stateful_atom="pair",
+    description=(
+        "SNAP spam-detection accumulators: total spam score and message count per sender, "
+        "exposing the pre-update score in the output trace."
+    ),
+    spec_function=spec,
+    build_machine_code=build,
+    state_template={"score": 0, "messages": 0},
+    relevant_containers=[0],
+    traffic_max_value=255,
+    domino_source=DOMINO_SOURCE,
+)

@@ -1,0 +1,25 @@
+"""Compiler-testing workflow (paper §3.3, Figure 5, §5.2).
+
+High-level specifications, output-trace equivalence checking, the fuzzing
+driver and the failure-classification report objects.
+"""
+
+from .equivalence import EquivalenceReport, Mismatch, compare_traces
+from .fuzzer import FuzzConfig, FuzzTester, fuzz_machine_code
+from .report import CampaignSummary, FailureClass, FuzzOutcome
+from .spec import FunctionSpecification, PassthroughSpecification, Specification
+
+__all__ = [
+    "Specification",
+    "FunctionSpecification",
+    "PassthroughSpecification",
+    "compare_traces",
+    "EquivalenceReport",
+    "Mismatch",
+    "FuzzTester",
+    "FuzzConfig",
+    "fuzz_machine_code",
+    "FuzzOutcome",
+    "FailureClass",
+    "CampaignSummary",
+]

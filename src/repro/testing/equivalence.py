@@ -1,0 +1,112 @@
+"""Output-trace equivalence checking.
+
+"Assertions check the equivalence of the output traces to determine if the
+behaviors of the Druzhba pipeline and the specification match" (paper §3.3).
+This module implements that check and produces a structured report of every
+disagreement so that compiler developers can see exactly which PHV, which
+container and which values diverged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..dsim.trace import Trace
+from ..errors import EquivalenceError
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """A single disagreement between the pipeline trace and the spec trace."""
+
+    phv_id: int
+    container: int
+    expected: int
+    actual: int
+    inputs: tuple
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"PHV {self.phv_id}: container {self.container} expected {self.expected}, "
+            f"pipeline produced {self.actual} (inputs {list(self.inputs)})"
+        )
+
+
+@dataclass
+class EquivalenceReport:
+    """Result of comparing a pipeline output trace against a specification trace."""
+
+    compared_phvs: int
+    compared_containers: Sequence[int]
+    mismatches: List[Mismatch] = field(default_factory=list)
+
+    @property
+    def equivalent(self) -> bool:
+        """True when the two traces agree on every compared container."""
+        return not self.mismatches
+
+    @property
+    def first_mismatch(self) -> Optional[Mismatch]:
+        """The earliest mismatch (the fuzzing counterexample), if any."""
+        return self.mismatches[0] if self.mismatches else None
+
+    def describe(self, limit: int = 10) -> str:
+        """Multi-line summary suitable for CLI output and assertion messages."""
+        if self.equivalent:
+            return (
+                f"traces equivalent over {self.compared_phvs} PHVs "
+                f"(containers {list(self.compared_containers)})"
+            )
+        lines = [
+            f"{len(self.mismatches)} mismatch(es) over {self.compared_phvs} PHVs "
+            f"(containers {list(self.compared_containers)}):"
+        ]
+        lines.extend(mismatch.describe() for mismatch in self.mismatches[:limit])
+        if len(self.mismatches) > limit:
+            lines.append(f"... ({len(self.mismatches) - limit} more)")
+        return "\n".join(lines)
+
+    def assert_equivalent(self) -> None:
+        """Raise :class:`EquivalenceError` when the traces diverge."""
+        if not self.equivalent:
+            raise EquivalenceError(self.describe())
+
+
+def compare_traces(
+    pipeline_trace: Trace,
+    spec_trace: Trace,
+    containers: Optional[Sequence[int]] = None,
+) -> EquivalenceReport:
+    """Compare two output traces record by record.
+
+    ``containers`` restricts the comparison to the specification's relevant
+    containers; when omitted every container is compared.  The traces must
+    describe the same number of PHVs (they were produced from the same input
+    trace).
+    """
+    if len(pipeline_trace) != len(spec_trace):
+        raise EquivalenceError(
+            f"trace lengths differ: pipeline={len(pipeline_trace)}, spec={len(spec_trace)}"
+        )
+    if containers is None:
+        width = pipeline_trace[0].num_containers if len(pipeline_trace) else 0
+        containers = list(range(width))
+
+    report = EquivalenceReport(compared_phvs=len(pipeline_trace), compared_containers=list(containers))
+    for pipeline_record, spec_record in zip(pipeline_trace, spec_trace):
+        for container in containers:
+            actual = pipeline_record.outputs[container]
+            expected = spec_record.outputs[container]
+            if actual != expected:
+                report.mismatches.append(
+                    Mismatch(
+                        phv_id=pipeline_record.phv_id,
+                        container=container,
+                        expected=expected,
+                        actual=actual,
+                        inputs=pipeline_record.inputs,
+                    )
+                )
+    return report

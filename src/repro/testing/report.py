@@ -1,0 +1,132 @@
+"""Failure classification for compiler-testing runs.
+
+The paper's case study (§5.2) distinguishes three outcomes when a compiler's
+machine code is run through Druzhba:
+
+* the machine code is **correct** — the pipeline trace matches the
+  specification trace on every fuzzed input;
+* the machine code is **incompatible with the pipeline** — required
+  machine-code pairs are missing (two of the eight observed failures were
+  missing output-multiplexer pairs);
+* the machine code holds only over a **limited value range** — it was
+  synthesised against narrow inputs and diverges once container values grow
+  (the remaining failures: "the pipeline simulation failing for large PHV
+  container values over 100 ... the synthesis engine failed to find machine
+  code to satisfy 10-bit inputs").
+
+This module defines the failure taxonomy and the report objects used by the
+fuzzer, the case-study harness and the CLI.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .equivalence import EquivalenceReport, Mismatch
+
+
+class FailureClass(enum.Enum):
+    """Outcome categories for one machine-code program under test."""
+
+    #: All fuzzed PHVs matched the specification.
+    CORRECT = "correct"
+    #: Required machine-code pairs were absent (pipeline could not be programmed).
+    MISSING_MACHINE_CODE = "missing_machine_code"
+    #: Correct on small container values but diverges on larger ones.
+    VALUE_RANGE = "value_range"
+    #: Output trace mismatched the specification (not attributable to value range).
+    OUTPUT_MISMATCH = "output_mismatch"
+    #: The simulation itself failed (malformed description, internal error).
+    SIMULATION_ERROR = "simulation_error"
+
+
+@dataclass
+class FuzzOutcome:
+    """Result of fuzzing one machine-code program against one specification."""
+
+    failure_class: FailureClass
+    phvs_tested: int
+    report: Optional[EquivalenceReport] = None
+    missing_pairs: List[str] = field(default_factory=list)
+    error_message: str = ""
+    seed: int = 0
+    max_value: int = 0
+
+    @property
+    def passed(self) -> bool:
+        """True when the machine code was judged correct."""
+        return self.failure_class is FailureClass.CORRECT
+
+    @property
+    def counterexample(self) -> Optional[Mismatch]:
+        """The first mismatching PHV, when the failure is a trace mismatch."""
+        if self.report is None:
+            return None
+        return self.report.first_mismatch
+
+    def describe(self) -> str:
+        """One-paragraph human-readable outcome description."""
+        if self.failure_class is FailureClass.CORRECT:
+            return f"PASS: {self.phvs_tested} PHVs matched the specification"
+        if self.failure_class is FailureClass.MISSING_MACHINE_CODE:
+            shown = ", ".join(self.missing_pairs[:3])
+            suffix = "..." if len(self.missing_pairs) > 3 else ""
+            return f"FAIL (missing machine code): {len(self.missing_pairs)} pair(s) absent: {shown}{suffix}"
+        if self.failure_class is FailureClass.VALUE_RANGE:
+            extra = ""
+            if self.counterexample is not None:
+                extra = f"; first divergence: {self.counterexample.describe()}"
+            return (
+                "FAIL (value range): machine code only satisfies a limited range of "
+                f"container values (max tested {self.max_value}){extra}"
+            )
+        if self.failure_class is FailureClass.OUTPUT_MISMATCH:
+            extra = ""
+            if self.counterexample is not None:
+                extra = f"; first divergence: {self.counterexample.describe()}"
+            return f"FAIL (output mismatch): pipeline trace diverged from the specification{extra}"
+        return f"FAIL (simulation error): {self.error_message}"
+
+
+@dataclass
+class CampaignSummary:
+    """Aggregate of many fuzzing outcomes (the §5.2 case-study table)."""
+
+    outcomes: List[FuzzOutcome] = field(default_factory=list)
+
+    def add(self, outcome: FuzzOutcome) -> None:
+        """Record one program's outcome."""
+        self.outcomes.append(outcome)
+
+    def count(self, failure_class: FailureClass) -> int:
+        """Number of programs with the given outcome."""
+        return sum(1 for outcome in self.outcomes if outcome.failure_class is failure_class)
+
+    @property
+    def total(self) -> int:
+        """Total number of programs tested."""
+        return len(self.outcomes)
+
+    @property
+    def passed(self) -> int:
+        """Number of programs judged correct."""
+        return self.count(FailureClass.CORRECT)
+
+    @property
+    def failed(self) -> int:
+        """Number of programs that failed for any reason."""
+        return self.total - self.passed
+
+    def describe(self) -> str:
+        """Render the summary as a small table (paper §5.2 style)."""
+        lines = [
+            f"programs tested:              {self.total}",
+            f"  correct:                    {self.passed}",
+            f"  missing machine code pairs: {self.count(FailureClass.MISSING_MACHINE_CODE)}",
+            f"  limited value range:        {self.count(FailureClass.VALUE_RANGE)}",
+            f"  output mismatch:            {self.count(FailureClass.OUTPUT_MISMATCH)}",
+            f"  simulation errors:          {self.count(FailureClass.SIMULATION_ERROR)}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Shared fixtures for the Druzhba reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import atoms, dgen
+from repro.hardware import PipelineSpec
+from repro.machine_code.pairs import MachineCode
+
+#: The If Else Raw example of paper Figure 4, in this reproduction's DSL syntax.
+IF_ELSE_RAW_SOURCE = atoms.STATEFUL_SOURCES["if_else_raw"]
+
+#: A tiny stateful ALU used by unit tests that want something smaller than the atoms.
+SIMPLE_STATEFUL_SOURCE = """
+type: stateful
+state variables : {state_0}
+hole variables : {}
+packet fields : {pkt_0, pkt_1}
+state_0 = arith_op(Mux2(pkt_0, pkt_1), Mux2(pkt_0, pkt_1));
+"""
+
+#: A tiny stateless ALU: forward one operand or an immediate.
+SIMPLE_STATELESS_SOURCE = """
+type: stateless
+state variables : {}
+hole variables : {}
+packet fields : {pkt_0, pkt_1}
+return Mux3(pkt_0, pkt_1, C());
+"""
+
+
+@pytest.fixture(scope="session")
+def if_else_raw_spec():
+    """Analysed spec of the paper's Figure 4 atom."""
+    return atoms.get_atom("if_else_raw")
+
+
+@pytest.fixture(scope="session")
+def stateless_full_spec():
+    """Analysed spec of the default stateless ALU."""
+    return atoms.get_atom("stateless_full")
+
+
+@pytest.fixture(scope="session")
+def small_pipeline_spec(if_else_raw_spec, stateless_full_spec):
+    """A 2x2 pipeline used across dgen/dsim tests."""
+    return PipelineSpec(
+        depth=2,
+        width=2,
+        stateful_alu=if_else_raw_spec,
+        stateless_alu=stateless_full_spec,
+        name="test_pipeline",
+    )
+
+
+@pytest.fixture(scope="session")
+def passthrough_machine_code(small_pipeline_spec) -> MachineCode:
+    """Complete machine code in which every stage is a no-op."""
+    return small_pipeline_spec.passthrough_machine_code()
+
+
+@pytest.fixture(scope="session")
+def passthrough_descriptions(small_pipeline_spec, passthrough_machine_code):
+    """Compiled pipeline descriptions at every optimisation level."""
+    return {
+        level: dgen.generate(small_pipeline_spec, passthrough_machine_code, opt_level=level)
+        for level in dgen.OPT_LEVELS
+    }

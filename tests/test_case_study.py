@@ -1,0 +1,76 @@
+"""Tests for the §5.2 case-study harness (corpus construction and classification)."""
+
+import pytest
+
+from repro.programs.case_study import (
+    VALUE_RANGE_THRESHOLDS,
+    build_corpus,
+    run_case_study,
+)
+from repro.testing import FailureClass
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus()
+
+
+class TestCorpusConstruction:
+    def test_corpus_exceeds_120_programs(self, corpus):
+        """Paper §5.2: 'Over 120 Chipmunk machine code programs'."""
+        assert len(corpus) > 120
+
+    def test_exactly_eight_injected_failures(self, corpus):
+        injected = [entry for entry in corpus if entry.expected is not FailureClass.CORRECT]
+        assert len(injected) == 8
+
+    def test_two_missing_pair_failures(self, corpus):
+        missing = [entry for entry in corpus if entry.expected is FailureClass.MISSING_MACHINE_CODE]
+        assert len(missing) == 2
+        for entry in missing:
+            # The removed pairs are exactly the output multiplexers.
+            absent = entry.program.pipeline_spec().validate_machine_code(entry.machine_code)
+            assert absent and all("output_mux" in name for name in absent)
+
+    def test_six_value_range_failures(self, corpus):
+        value_range = [entry for entry in corpus if entry.expected is FailureClass.VALUE_RANGE]
+        assert len(value_range) == 6
+        assert len(VALUE_RANGE_THRESHOLDS) == 6
+
+    def test_table1_programs_included(self, corpus):
+        table1 = [entry for entry in corpus if entry.family == "table1"]
+        assert len(table1) == 12
+
+    def test_machine_codes_are_distinct(self, corpus):
+        codes = {entry.machine_code for entry in corpus if entry.family == "accumulator"}
+        assert len(codes) == sum(1 for entry in corpus if entry.family == "accumulator")
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def small_result(self, corpus):
+        # A reduced corpus keeps the unit test fast: the 12 Table-1 programs,
+        # a handful of correct variants and all eight injected failures.
+        correct = [entry for entry in corpus if entry.expected is FailureClass.CORRECT][:20]
+        injected = [entry for entry in corpus if entry.expected is not FailureClass.CORRECT]
+        return run_case_study(num_phvs=120, seed=3, entries=correct + injected)
+
+    def test_every_outcome_matches_expectation(self, small_result):
+        assert small_result.expected_matches_observed()
+
+    def test_summary_counts(self, small_result):
+        assert small_result.summary.total == 28
+        assert small_result.summary.passed == 20
+        assert small_result.summary.count(FailureClass.MISSING_MACHINE_CODE) == 2
+        assert small_result.summary.count(FailureClass.VALUE_RANGE) == 6
+
+    def test_comparison_table_structure(self, small_result):
+        table = small_result.table()
+        quantities = [row["quantity"] for row in table]
+        assert any("missing machine code" in quantity for quantity in quantities)
+        assert any("limited value range" in quantity for quantity in quantities)
+        assert all({"quantity", "paper", "reproduced"} <= set(row) for row in table)
+
+    def test_per_family_counts_sum_to_total(self, small_result):
+        total = sum(total for _passed, total in small_result.per_family.values())
+        assert total == small_result.summary.total

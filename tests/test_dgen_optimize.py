@@ -1,0 +1,274 @@
+"""Unit tests for the dgen optimisation passes (SCC propagation, folding, DCE, inlining)."""
+
+import pytest
+
+from repro.alu_dsl import ALUInterpreter, parse_and_analyze
+from repro.alu_dsl.ast_nodes import (
+    ArithOpExpr,
+    BinaryOp,
+    ConstExpr,
+    If,
+    MuxExpr,
+    Number,
+    OptExpr,
+    RelOpExpr,
+    Var,
+)
+from repro.dgen.optimize import (
+    constant_value,
+    eliminate_dead_branches,
+    fold_expr,
+    inline_call,
+    is_constant,
+    max_placeholder_index,
+    placeholder_count,
+    remove_dead_local_assignments,
+    specialize_expr,
+    specialize_primitive_template,
+    specialize_spec,
+    specialize_stmts,
+)
+from repro.errors import CodegenError, MissingMachineCodeError
+
+STATEFUL_TEMPLATE = """
+type: stateful
+state variables : {{state_0}}
+hole variables : {{{holes}}}
+packet fields : {{pkt_0, pkt_1}}
+{body}
+"""
+
+
+def spec_of(body, holes=""):
+    return parse_and_analyze(STATEFUL_TEMPLATE.format(body=body, holes=holes))
+
+
+class TestFolding:
+    def test_fold_constant_binary(self):
+        assert fold_expr(BinaryOp("+", Number(2), Number(3))) == Number(5)
+
+    def test_fold_nested(self):
+        expr = BinaryOp("*", BinaryOp("+", Number(1), Number(2)), Number(4))
+        assert fold_expr(expr) == Number(12)
+
+    def test_fold_relational_to_flag(self):
+        assert fold_expr(BinaryOp("<", Number(1), Number(2))) == Number(1)
+        assert fold_expr(BinaryOp(">", Number(1), Number(2))) == Number(0)
+
+    def test_non_constant_preserved(self):
+        expr = BinaryOp("+", Var("pkt_0"), Number(3))
+        assert fold_expr(expr) == expr
+
+    def test_additive_identity_removed(self):
+        assert fold_expr(BinaryOp("+", Var("x"), Number(0))) == Var("x")
+        assert fold_expr(BinaryOp("+", Number(0), Var("x"))) == Var("x")
+
+    def test_subtractive_identity_removed(self):
+        assert fold_expr(BinaryOp("-", Var("x"), Number(0))) == Var("x")
+
+    def test_multiplicative_identities(self):
+        assert fold_expr(BinaryOp("*", Var("x"), Number(1))) == Var("x")
+        assert fold_expr(BinaryOp("*", Number(0), Var("x"))) == Number(0)
+
+    def test_division_by_zero_folds_to_zero(self):
+        assert fold_expr(BinaryOp("/", Number(9), Number(0))) == Number(0)
+
+    def test_is_constant_and_value(self):
+        expr = BinaryOp("+", Number(2), Number(2))
+        assert is_constant(expr)
+        assert constant_value(expr) == 4
+        with pytest.raises(ValueError):
+            constant_value(Var("x"))
+
+
+class TestDeadCodeElimination:
+    def test_constant_true_first_branch_replaces_chain(self):
+        from repro.alu_dsl.ast_nodes import Assign
+
+        branches = [(Number(1), (Assign("state_0", Number(5)),))]
+        result = eliminate_dead_branches(branches, (Assign("state_0", Number(9)),))
+        assert result == [Assign("state_0", Number(5))]
+
+    def test_constant_false_branch_removed(self):
+        from repro.alu_dsl.ast_nodes import Assign
+
+        branches = [(Number(0), (Assign("state_0", Number(5)),))]
+        result = eliminate_dead_branches(branches, (Assign("state_0", Number(9)),))
+        assert result == [Assign("state_0", Number(9))]
+
+    def test_unknown_condition_preserved(self):
+        from repro.alu_dsl.ast_nodes import Assign
+
+        branches = [(Var("pkt_0"), (Assign("state_0", Number(5)),))]
+        result = eliminate_dead_branches(branches, ())
+        assert len(result) == 1 and isinstance(result[0], If)
+
+    def test_constant_true_after_unknown_becomes_else(self):
+        from repro.alu_dsl.ast_nodes import Assign
+
+        branches = [
+            (Var("pkt_0"), (Assign("state_0", Number(1)),)),
+            (Number(1), (Assign("state_0", Number(2)),)),
+            (Var("pkt_1"), (Assign("state_0", Number(3)),)),  # unreachable
+        ]
+        result = eliminate_dead_branches(branches, (Assign("state_0", Number(4)),))
+        assert isinstance(result[0], If)
+        assert len(result[0].branches) == 1
+        assert result[0].orelse[0].value == Number(2)
+
+    def test_remove_dead_local_assignment(self):
+        from repro.alu_dsl.ast_nodes import Assign
+
+        stmts = [Assign("tmp", Number(1)), Assign("state_0", Number(2))]
+        cleaned = remove_dead_local_assignments(stmts, protected={"state_0"})
+        assert cleaned == [Assign("state_0", Number(2))]
+
+    def test_protected_assignment_kept_even_if_unread(self):
+        from repro.alu_dsl.ast_nodes import Assign
+
+        stmts = [Assign("state_0", Number(2))]
+        assert remove_dead_local_assignments(stmts, protected={"state_0"}) == stmts
+
+    def test_live_local_assignment_kept(self):
+        from repro.alu_dsl.ast_nodes import Assign
+
+        stmts = [Assign("tmp", Number(1)), Assign("state_0", BinaryOp("+", Var("tmp"), Number(1)))]
+        assert remove_dead_local_assignments(stmts, protected={"state_0"}) == stmts
+
+
+class TestPrimitiveTemplates:
+    def test_mux_template_selects_input(self):
+        template, arity = specialize_primitive_template(
+            MuxExpr((Var("a"), Var("b"), Var("c")), hole_name="m"), {"m": 1}
+        )
+        assert template == "{op1}"
+        assert arity == 3
+
+    def test_mux_template_wraps_modulo(self):
+        template, _ = specialize_primitive_template(
+            MuxExpr((Var("a"), Var("b")), hole_name="m"), {"m": 5}
+        )
+        assert template == "{op1}"
+
+    def test_opt_template(self):
+        assert specialize_primitive_template(OptExpr(Var("s"), hole_name="o"), {"o": 0})[0] == "{op0}"
+        assert specialize_primitive_template(OptExpr(Var("s"), hole_name="o"), {"o": 1})[0] == "0"
+
+    def test_const_template_is_literal(self):
+        template, arity = specialize_primitive_template(ConstExpr(hole_name="c"), {"c": 55})
+        assert template == "55"
+        assert arity == 0
+
+    def test_rel_op_template(self):
+        template, _ = specialize_primitive_template(
+            RelOpExpr(Var("a"), Var("b"), hole_name="r"), {"r": 0}
+        )
+        assert "==" in template and "{op0}" in template and "{op1}" in template
+
+    def test_arith_op_template(self):
+        template, _ = specialize_primitive_template(
+            ArithOpExpr(Var("a"), Var("b"), hole_name="r"), {"r": 1}
+        )
+        assert "-" in template
+
+    def test_missing_hole_raises(self):
+        with pytest.raises(MissingMachineCodeError):
+            specialize_primitive_template(ConstExpr(hole_name="c"), {})
+
+    def test_non_primitive_rejected(self):
+        with pytest.raises(CodegenError):
+            specialize_primitive_template(Number(1), {})
+
+
+class TestSpecialization:
+    def test_specialize_expr_removes_primitives(self):
+        spec = spec_of("state_0 = arith_op(Opt(state_0), Mux3(pkt_0, pkt_1, C()));")
+        holes = {"opt_0": 0, "mux3_0": 2, "const_0": 9, "arith_op_0": 0}
+        expr = spec.body[0].value
+        result = specialize_expr(expr, holes)
+        assert result == BinaryOp("+", Var("state_0"), Number(9))
+
+    def test_specialize_expr_folds_constants(self):
+        spec = spec_of("state_0 = arith_op(C(), C());")
+        holes = {"const_0": 4, "const_1": 6, "arith_op_0": 0}
+        assert specialize_expr(spec.body[0].value, holes) == Number(10)
+
+    def test_hole_variable_substituted(self):
+        spec = spec_of("state_0 = state_0 + imm;", holes="imm")
+        result = specialize_expr(spec.body[0].value, {"imm": 3}, spec.hole_vars)
+        assert result == BinaryOp("+", Var("state_0"), Number(3))
+
+    def test_specialize_stmts_prunes_constant_branches(self):
+        spec = spec_of(
+            "if (rel_op(C(), C())) { state_0 = 1; } else { state_0 = 2; }"
+        )
+        # 5 == 5 is true -> keep the then branch only.
+        holes = {"const_0": 5, "const_1": 5, "rel_op_0": 0}
+        result = specialize_stmts(spec.body, holes)
+        assert len(result) == 1
+        assert result[0].value == Number(1)
+
+    def test_specialize_stmts_keeps_data_dependent_branches(self):
+        spec = spec_of("if (rel_op(state_0, pkt_0)) { state_0 = 1; } else { state_0 = 2; }")
+        result = specialize_stmts(spec.body, {"rel_op_0": 1})
+        assert isinstance(result[0], If)
+
+    def test_specialize_spec_behaviour_preserved(self):
+        """The specialised spec run with no holes equals the original run with holes."""
+        spec = spec_of(
+            "if (rel_op(Opt(state_0), Mux3(pkt_0, pkt_1, C()))) {\n"
+            "    state_0 = Opt(state_0) + Mux3(pkt_0, pkt_1, C());\n"
+            "} else {\n"
+            "    state_0 = Opt(state_0) + Mux3(pkt_0, pkt_1, C());\n"
+            "}"
+        )
+        holes = {
+            "opt_0": 0, "const_0": 9, "mux3_0": 2, "rel_op_0": 0,
+            "opt_1": 1, "const_1": 0, "mux3_1": 2,
+            "opt_2": 0, "const_2": 1, "mux3_2": 2,
+        }
+        specialized = specialize_spec(spec, holes)
+        original = ALUInterpreter(spec)
+        reduced = ALUInterpreter(specialized)
+        for operands, state in [([9, 0], [9]), ([1, 2], [3]), ([0, 0], [0]), ([5, 5], [9])]:
+            expected = original.execute(operands, state, holes)
+            actual = reduced.execute(operands, state, {})
+            assert (expected.output, expected.state) == (actual.output, actual.state)
+
+    def test_specialize_spec_clears_holes(self):
+        spec = spec_of("state_0 = Opt(state_0) + C();")
+        specialized = specialize_spec(spec, {"opt_0": 0, "const_0": 2})
+        assert specialized.holes == []
+        assert specialized.hole_vars == []
+
+
+class TestInlining:
+    def test_placeholder_count(self):
+        assert placeholder_count("{op0} + {op1}") == 2
+        assert placeholder_count("{op0} + {op0}") == 1
+        assert placeholder_count("42") == 0
+
+    def test_max_placeholder_index(self):
+        assert max_placeholder_index("{op2} - {op0}") == 2
+        assert max_placeholder_index("7") == -1
+
+    def test_inline_simple_call(self):
+        assert inline_call("{op0}", ["phv[1]"]) == "phv[1]"
+
+    def test_inline_wraps_compound_arguments(self):
+        result = inline_call("int(({op0}) == ({op1}))", ["a + b", "c"])
+        assert "(a + b)" in result and "(c)" in result or "c" in result
+
+    def test_inline_does_not_wrap_atoms(self):
+        assert inline_call("{op0} + {op1}", ["x", "12"]) == "x + 12"
+
+    def test_inline_missing_argument_rejected(self):
+        with pytest.raises(CodegenError):
+            inline_call("{op1}", ["only_one"])
+
+    def test_inlined_expression_evaluates_correctly(self):
+        template, _ = specialize_primitive_template(
+            ArithOpExpr(Var("a"), Var("b"), hole_name="h"), {"h": 0}
+        )
+        code = inline_call(template, ["2 + 3", "4"])
+        assert eval(code) == 9  # noqa: S307 - controlled generated code

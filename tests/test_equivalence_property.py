@@ -1,0 +1,153 @@
+"""Property-based tests: the two execution paths and the three dgen levels agree.
+
+These are the reproduction's central internal correctness oracles:
+
+* the ALU DSL reference interpreter and the code dgen generates must compute
+  identical outputs and state updates for any machine code and any operands;
+* a full pipeline simulated from the unoptimised, SCC-propagated and inlined
+  descriptions must produce identical output traces and final state — i.e.
+  the optimisations of §3.4 never change behaviour.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import atoms, dgen
+from repro.alu_dsl import ALUInterpreter
+from repro.dsim import RMTSimulator
+from repro.hardware import PipelineSpec
+from repro.ir import Module, to_source
+from repro.machine_code import naming
+from repro.machine_code.pairs import MachineCode
+
+ATOM_NAMES = ["raw", "if_else_raw", "pred_raw", "sub", "nested_if", "pair"]
+
+values_strategy = st.integers(min_value=0, max_value=1023)
+hole_value_strategy = st.integers(min_value=0, max_value=7)
+
+
+def compile_alu(spec, stage, kind, slot, opt_level, machine_code):
+    """Compile a single ALU function (plus helpers) into a callable."""
+    code = dgen.generate_alu(spec, stage, kind, slot, opt_level, machine_code)
+    namespace = {}
+    source = to_source(Module(functions=code.helpers + [code.function]))
+    exec(compile(source, "<alu>", "exec"), namespace)  # noqa: S102
+    return namespace[code.function.name]
+
+
+def full_machine_code(spec, stage, kind, slot, hole_values):
+    return {
+        naming.alu_hole_name(stage, kind, slot, hole): value
+        for hole, value in hole_values.items()
+    }
+
+
+class TestInterpreterVsGeneratedCode:
+    @pytest.mark.parametrize("atom_name", ATOM_NAMES)
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_stateful_atom_equivalence(self, atom_name, data):
+        """Interpreter output/state == generated-code output/state at every opt level."""
+        spec = atoms.get_atom(atom_name)
+        hole_values = {
+            hole: data.draw(hole_value_strategy, label=hole) for hole in spec.holes
+        }
+        operands = [data.draw(values_strategy, label=f"operand_{i}") for i in range(spec.num_operands)]
+        state = [data.draw(values_strategy, label=f"state_{i}") for i in range(spec.num_state_vars)]
+
+        reference = ALUInterpreter(spec).execute(operands, list(state), hole_values)
+        machine_code = full_machine_code(spec, 0, naming.STATEFUL, 0, hole_values)
+
+        for opt_level in dgen.OPT_LEVELS:
+            function = compile_alu(spec, 0, naming.STATEFUL, 0, opt_level, machine_code)
+            generated_state = list(state)
+            if opt_level == dgen.OPT_UNOPTIMIZED:
+                output = function(*operands, generated_state, machine_code)
+            else:
+                output = function(*operands, generated_state)
+            assert output == reference.output, f"output diverged at opt level {opt_level}"
+            assert generated_state == reference.state, f"state diverged at opt level {opt_level}"
+
+    @pytest.mark.parametrize("atom_name", ["stateless_arith", "stateless_rel", "stateless_mux", "stateless_full"])
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_stateless_atom_equivalence(self, atom_name, data):
+        spec = atoms.get_atom(atom_name)
+        hole_values = {hole: data.draw(hole_value_strategy, label=hole) for hole in spec.holes}
+        operands = [data.draw(values_strategy, label=f"operand_{i}") for i in range(spec.num_operands)]
+
+        reference = ALUInterpreter(spec).execute(operands, [], hole_values)
+        machine_code = full_machine_code(spec, 1, naming.STATELESS, 0, hole_values)
+
+        for opt_level in dgen.OPT_LEVELS:
+            function = compile_alu(spec, 1, naming.STATELESS, 0, opt_level, machine_code)
+            if opt_level == dgen.OPT_UNOPTIMIZED:
+                output = function(*operands, machine_code)
+            else:
+                output = function(*operands)
+            assert output == reference.output
+
+
+class TestOptimisationLevelsAgree:
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_pipeline_traces_identical_across_levels(self, data):
+        """Random machine code, random traffic: the three levels agree end to end."""
+        spec = PipelineSpec(
+            depth=2,
+            width=2,
+            stateful_alu=atoms.get_atom("if_else_raw"),
+            stateless_alu=atoms.get_atom("stateless_full"),
+            name="property_pipeline",
+        )
+        domains = spec.hole_domains()
+        pairs = {}
+        for name in spec.expected_machine_code_names():
+            domain = domains[name]
+            upper = (domain - 1) if domain else 63
+            pairs[name] = data.draw(st.integers(min_value=0, max_value=upper), label=name)
+        machine_code = MachineCode(pairs)
+
+        inputs = [
+            [data.draw(values_strategy) for _ in range(spec.width)] for _ in range(6)
+        ]
+
+        results = {}
+        for level in dgen.OPT_LEVELS:
+            description = dgen.generate(spec, machine_code, opt_level=level)
+            results[level] = RMTSimulator(description).run(inputs)
+
+        baseline = results[dgen.OPT_UNOPTIMIZED]
+        for level in (dgen.OPT_SCC, dgen.OPT_SCC_INLINE):
+            assert results[level].outputs == baseline.outputs
+            assert results[level].final_state == baseline.final_state
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        count=st.integers(min_value=0, max_value=30),
+    )
+    def test_traffic_generator_reproducible(self, seed, count):
+        from repro.dsim import TrafficGenerator
+
+        first = TrafficGenerator(num_containers=3, seed=seed).generate(count)
+        second = TrafficGenerator(num_containers=3, seed=seed).generate(count)
+        assert first == second
+        assert len(first) == count
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        stage=st.integers(min_value=0, max_value=31),
+        slot=st.integers(min_value=0, max_value=15),
+        operand=st.integers(min_value=0, max_value=7),
+        container=st.integers(min_value=0, max_value=15),
+        kind=st.sampled_from([naming.STATEFUL, naming.STATELESS]),
+        hole=st.sampled_from(["mux3_0", "const_7", "rel_op_2", "imm", "opt_11"]),
+    )
+    def test_machine_code_names_round_trip(self, stage, slot, operand, container, kind, hole):
+        for name in (
+            naming.alu_hole_name(stage, kind, slot, hole),
+            naming.input_mux_name(stage, kind, slot, operand),
+            naming.output_mux_name(stage, container),
+        ):
+            assert naming.parse_name(name).render() == name

@@ -1,0 +1,75 @@
+"""Smoke tests: every example script runs to completion and prints what it promises.
+
+The examples are part of the public deliverable, so they are executed as
+subprocesses (the way a user would run them) with scaled-down workloads where
+an environment variable allows it.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: (script, environment overrides, strings that must appear in stdout)
+EXAMPLES = [
+    (
+        "quickstart.py",
+        {},
+        ["compiler-testing workflow", "PASS", "missing machine code"],
+    ),
+    (
+        "optimization_levels.py",
+        {},
+        ["version 1", "version 3", "speedup"],
+    ),
+    (
+        "compiler_testing_workflow.py",
+        {},
+        ["synthesis success:      True", "value range"],
+    ),
+    (
+        "drmt_simulation.py",
+        {},
+        ["dRMT dgen", "schedule constraint violations: none", "packets per processor"],
+    ),
+    (
+        "case_study.py",
+        {"DRUZHBA_CASE_STUDY_PHVS": "60"},
+        ["corpus size", "missing machine code pairs: 2", "limited value range:        6"],
+    ),
+    (
+        "debugging_and_verification.py",
+        {},
+        ["breakpoint", "PROVEN", "REFUTED"],
+    ),
+]
+
+
+@pytest.mark.parametrize("script, env_overrides, expected", EXAMPLES,
+                         ids=[example[0] for example in EXAMPLES])
+def test_example_runs(script, env_overrides, expected):
+    env = dict(os.environ)
+    env.update(env_overrides)
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    for needle in expected:
+        assert needle in completed.stdout, (
+            f"expected {needle!r} in the output of {script}; got:\n{completed.stdout[-2000:]}"
+        )
+
+
+def test_every_example_is_listed_here():
+    """Adding a new example without a smoke test should fail loudly."""
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    covered = {script for script, _env, _expected in EXAMPLES}
+    assert on_disk == covered

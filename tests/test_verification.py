@@ -1,0 +1,191 @@
+"""Tests for bounded formal verification (ALU-level and pipeline-level)."""
+
+import pytest
+
+from repro import atoms
+from repro.errors import SpecificationError
+from repro.hardware import PipelineSpec
+from repro.chipmunk import MachineCodeBuilder
+from repro.machine_code import naming
+from repro.programs import get_program
+from repro.programs.variants import make_sampling_variant, make_threshold_variant
+from repro.testing import FunctionSpecification
+from repro.verification import (
+    check_alu_against_reference,
+    check_alu_equivalence,
+    check_bounded_equivalence,
+    check_optimization_equivalence,
+    enumerate_traces,
+    specialized_source,
+)
+
+
+class TestALUEquivalence:
+    def test_raw_atom_matches_reference(self):
+        spec = atoms.get_atom("raw")
+        holes = {"opt_0": 0, "mux3_0": 0, "const_0": 0}
+
+        def reference(operands, state):
+            old = state[0]
+            state[0] = state[0] + operands[0]
+            return old
+
+        result = check_alu_against_reference(
+            spec, holes, reference, operand_domain=range(6), state_domain=range(6)
+        )
+        assert result.equivalent
+        assert result.cases_checked == 6 * 6 * 6  # two operands x one state variable
+
+    def test_counterexample_found_for_wrong_reference(self):
+        spec = atoms.get_atom("raw")
+        holes = {"opt_0": 0, "mux3_0": 0, "const_0": 0}
+
+        def wrong_reference(operands, state):
+            old = state[0]
+            state[0] = state[0] + operands[0] + 1  # off by one
+            return old
+
+        result = check_alu_against_reference(
+            spec, holes, wrong_reference, operand_domain=range(3), state_domain=range(3)
+        )
+        assert not result.equivalent
+        assert result.counterexample is not None
+        assert "expected" in result.describe()
+
+    def test_same_behaviour_on_different_atoms_proven_equivalent(self):
+        """A pred_raw configured with an always-true guard equals a raw accumulator."""
+        raw = atoms.get_atom("raw")
+        pred = atoms.get_atom("pred_raw")
+        raw_holes = {"opt_0": 0, "mux3_0": 0, "const_0": 0}
+        pred_holes = {
+            "opt_0": 1, "const_0": 0, "mux3_0": 2, "rel_op_0": 5,   # 0 >= 0: always true
+            "opt_1": 0, "const_1": 0, "mux3_1": 0, "arith_op_0": 0,  # state += pkt_0
+        }
+        result = check_alu_equivalence(
+            pred, pred_holes, raw, raw_holes, operand_domain=range(5), state_domain=range(5)
+        )
+        assert result.equivalent
+
+    def test_differently_configured_atoms_not_equivalent(self):
+        raw = atoms.get_atom("raw")
+        add_holes = {"opt_0": 0, "mux3_0": 0, "const_0": 0}       # state += pkt_0
+        overwrite_holes = {"opt_0": 1, "mux3_0": 0, "const_0": 0}  # state = pkt_0
+        result = check_alu_equivalence(
+            raw, add_holes, raw, overwrite_holes, operand_domain=range(4), state_domain=range(4)
+        )
+        assert not result.equivalent
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(SpecificationError):
+            check_alu_equivalence(
+                atoms.get_atom("raw"), {}, atoms.get_atom("pair"), {}, operand_domain=range(2)
+            )
+
+    def test_domain_size_guard(self):
+        spec = atoms.get_atom("raw")
+        with pytest.raises(SpecificationError):
+            check_alu_against_reference(
+                spec, {"opt_0": 0, "mux3_0": 0, "const_0": 0},
+                lambda operands, state: 0,
+                operand_domain=range(1000), state_domain=range(1000), max_cases=100,
+            )
+
+    def test_specialized_source_is_hole_free_dsl(self):
+        spec = atoms.get_atom("if_else_raw")
+        holes = {hole: 0 for hole in spec.holes}
+        text = specialized_source(spec, holes)
+        assert "C()" not in text and "Mux3" not in text
+        assert text.startswith("type: stateful")
+
+
+class TestBoundedPipelineEquivalence:
+    def test_sampling_variant_proven_on_bounded_domain(self):
+        program = make_sampling_variant(3)
+        result = check_bounded_equivalence(
+            program.pipeline_spec(),
+            program.machine_code(),
+            program.specification(),
+            value_domain=[0, 1],
+            trace_length=4,
+            initial_state=program.initial_pipeline_state(),
+        )
+        assert result.verified
+        assert result.traces_checked == (2 ** 1) ** 4
+        assert "PROVEN" in result.describe()
+
+    def test_threshold_program_with_wrong_constant_refuted(self):
+        program = make_threshold_variant(3, machine_code_threshold=1)
+        result = check_bounded_equivalence(
+            program.pipeline_spec(),
+            program.machine_code(),
+            program.specification(),
+            value_domain=[0, 2, 4],
+            trace_length=1,
+        )
+        assert not result.verified
+        assert result.counterexample_trace == [[2]]
+        assert "REFUTED" in result.describe()
+
+    def test_snap_heavy_hitter_bounded_proof(self):
+        program = get_program("snap_heavy_hitter")
+        result = check_bounded_equivalence(
+            program.pipeline_spec(),
+            program.machine_code(),
+            program.specification(),
+            value_domain=[0, 1, 7],
+            trace_length=3,
+            initial_state=program.initial_pipeline_state(),
+        )
+        assert result.verified
+
+    def test_wrong_specification_refuted_with_counterexample(self):
+        spec = PipelineSpec(
+            depth=1, width=1,
+            stateful_alu=atoms.get_atom("raw"),
+            stateless_alu=atoms.get_atom("stateless_full"),
+            name="bounded",
+        )
+        builder = MachineCodeBuilder(spec)
+        builder.configure_stateless_full(0, 0, mode="arith", op="+", a=("pkt", 0), b=("const", 1),
+                                         input_containers=[0, 0])
+        builder.route_output(0, 0, kind=naming.STATELESS, slot=0)
+        wrong_spec = FunctionSpecification(
+            function=lambda phv, state: [phv[0] + 2], num_containers=1, relevant_containers=[0]
+        )
+        result = check_bounded_equivalence(
+            spec, builder.build(), wrong_spec, value_domain=[0, 1, 2], trace_length=1
+        )
+        assert not result.verified
+        assert result.counterexample_report.first_mismatch.expected == 2
+
+    def test_domain_guards(self):
+        program = get_program("snap_heavy_hitter")
+        with pytest.raises(SpecificationError):
+            check_bounded_equivalence(
+                program.pipeline_spec(), program.machine_code(), program.specification(),
+                value_domain=[], trace_length=1,
+            )
+        with pytest.raises(SpecificationError):
+            check_bounded_equivalence(
+                program.pipeline_spec(), program.machine_code(), program.specification(),
+                value_domain=range(100), trace_length=4, max_traces=10,
+            )
+
+    def test_enumerate_traces_counts(self):
+        traces = list(enumerate_traces([0, 1], width=2, trace_length=2))
+        assert len(traces) == (2 ** 2) ** 2
+        assert traces[0] == [[0, 0], [0, 0]]
+
+
+class TestOptimizationEquivalenceProof:
+    def test_levels_agree_on_bounded_domain(self):
+        program = get_program("sampling")
+        result = check_optimization_equivalence(
+            program.pipeline_spec(),
+            program.machine_code(),
+            value_domain=[0, 5],
+            trace_length=3,
+            initial_state=program.initial_pipeline_state(),
+        )
+        assert result.verified
+        assert result.traces_checked == (2 ** 1) ** 3
