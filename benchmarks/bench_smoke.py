@@ -1,0 +1,143 @@
+"""bench_smoke: a scaled-down Table-1 sweep that records the perf trajectory.
+
+Runs every Table-1 benchmark program at every dgen optimisation level for a
+modest PHV count and writes per-(program, level) throughput (PHVs/sec) to a
+JSON file — ``BENCH_PR1.json`` by default, establishing the perf trajectory
+file that future PRs extend (``BENCH_PR2.json``, ...).  The headline metric
+is the fused (opt level 3) speedup over ``scc_propagation_and_inlining``
+(opt level 2), reported per program plus as geomean and aggregate
+(total-PHVs / total-seconds) ratios.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_smoke.py [--phvs 3000] [--rounds 3]
+        [--programs sampling,conga] [--output BENCH_PR1.json]
+
+A pytest-marked wrapper lives in ``test_bench_smoke.py``; run it with
+``pytest -m bench_smoke``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro import dgen
+from repro.dsim import RMTSimulator
+from repro.programs import TABLE1_ORDER, get_program
+
+#: Levels swept, in ladder order.
+LEVELS: Dict[int, str] = {level: dgen.OPT_LEVEL_NAMES[level] for level in dgen.OPT_LEVELS}
+
+
+def measure_cell(program, level: int, phvs: int, rounds: int) -> Dict[str, float]:
+    """Best-of-``rounds`` simulation throughput for one (program, level) cell."""
+    description = dgen.generate(
+        program.pipeline_spec(), program.machine_code(), opt_level=level
+    )
+    inputs = program.traffic_generator(seed=42).generate(phvs)
+    best = math.inf
+    for _ in range(rounds):
+        simulator = RMTSimulator(
+            description, initial_state=program.initial_pipeline_state()
+        )
+        start = time.perf_counter()
+        result = simulator.run(inputs)
+        best = min(best, time.perf_counter() - start)
+        assert len(result.output_trace) == phvs
+    return {"seconds": best, "phvs_per_sec": phvs / best}
+
+
+def run_sweep(
+    phvs: int, rounds: int, program_names: Optional[Sequence[str]] = None
+) -> dict:
+    """Sweep programs × levels and assemble the trajectory record."""
+    names: List[str] = list(program_names) if program_names else list(TABLE1_ORDER)
+    programs: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in names:
+        program = get_program(name)
+        programs[name] = {
+            label: measure_cell(program, level, phvs, rounds)
+            for level, label in LEVELS.items()
+        }
+
+    baseline = LEVELS[dgen.OPT_SCC_INLINE]
+    fused = LEVELS[dgen.OPT_FUSED]
+    per_program = {
+        name: cells[baseline]["seconds"] / cells[fused]["seconds"]
+        for name, cells in programs.items()
+    }
+    total_baseline = sum(cells[baseline]["seconds"] for cells in programs.values())
+    total_fused = sum(cells[fused]["seconds"] for cells in programs.values())
+    return {
+        "benchmark": "table1_smoke",
+        "pr": 1,
+        "phvs_per_program": phvs,
+        "rounds": rounds,
+        "levels": list(LEVELS.values()),
+        "programs": programs,
+        "speedup_fused_vs_inlining": {
+            "per_program": per_program,
+            "geomean": math.exp(
+                sum(math.log(ratio) for ratio in per_program.values()) / len(per_program)
+            ),
+            "aggregate": total_baseline / total_fused,
+        },
+    }
+
+
+_SHORT_LABELS = {
+    "unoptimized": "unopt",
+    "scc_propagation": "scc",
+    "scc_propagation_and_inlining": "scc+inline",
+    "fused_pipeline": "fused",
+}
+
+
+def format_table(record: dict) -> str:
+    """Human-readable rendering of a sweep record."""
+    lines = [
+        f"bench_smoke: {record['phvs_per_program']} PHVs/program, "
+        f"best of {record['rounds']} round(s)",
+        f"{'Program':20s} "
+        + "".join(f"{_SHORT_LABELS.get(label, label):>14s}" for label in record["levels"])
+        + f"{'fused/inline':>14s}",
+    ]
+    speedups = record["speedup_fused_vs_inlining"]["per_program"]
+    for name, cells in record["programs"].items():
+        rates = "".join(f"{cells[label]['phvs_per_sec']:>12.0f}/s" for label in record["levels"])
+        lines.append(f"{name:20s} {rates}{speedups[name]:>13.2f}x")
+    summary = record["speedup_fused_vs_inlining"]
+    lines.append(
+        f"fused vs scc+inlining: geomean {summary['geomean']:.2f}x, "
+        f"aggregate {summary['aggregate']:.2f}x"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_smoke", description="Scaled-down Table-1 sweep (all opt levels)."
+    )
+    parser.add_argument("--phvs", type=int, default=3000, help="PHVs per program")
+    parser.add_argument("--rounds", type=int, default=3, help="timing rounds (best kept)")
+    parser.add_argument(
+        "--programs", help="comma-separated program subset (default: all 12)"
+    )
+    parser.add_argument("--output", default="BENCH_PR1.json", help="output JSON path")
+    args = parser.parse_args(argv)
+
+    names = args.programs.split(",") if args.programs else None
+    record = run_sweep(args.phvs, args.rounds, names)
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+    print(format_table(record))
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,8 +9,14 @@ workload size exactly (the relative shape of the results is unchanged).
 from __future__ import annotations
 
 import os
+import sys
+from pathlib import Path
 
 import pytest
+
+# Make sibling helper modules (bench_smoke) importable under importlib
+# import mode, which does not put the test file's directory on sys.path.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 #: PHVs simulated per Table-1 benchmark (paper: 50 000).
 BENCH_PHVS = int(os.environ.get("DRUZHBA_BENCH_PHVS", "5000"))

@@ -1,0 +1,37 @@
+"""Pytest wrapper around the bench_smoke sweep (``pytest -m bench_smoke``).
+
+The default run uses a tiny workload on a program subset so the tier-1 suite
+stays fast; it checks the sweep machinery and the shape of the trajectory
+record rather than absolute performance.  The committed ``BENCH_PR1.json``
+is produced by the full sweep (``python benchmarks/bench_smoke.py``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from bench_smoke import format_table, run_sweep
+from repro import dgen
+
+
+@pytest.mark.bench_smoke
+def test_bench_smoke_sweep(tmp_path):
+    record = run_sweep(phvs=200, rounds=1, program_names=["sampling", "conga"])
+
+    assert record["levels"] == [dgen.OPT_LEVEL_NAMES[level] for level in dgen.OPT_LEVELS]
+    assert set(record["programs"]) == {"sampling", "conga"}
+    for cells in record["programs"].values():
+        for label in record["levels"]:
+            assert cells[label]["phvs_per_sec"] > 0
+            assert cells[label]["seconds"] > 0
+    summary = record["speedup_fused_vs_inlining"]
+    assert set(summary["per_program"]) == {"sampling", "conga"}
+    assert summary["geomean"] > 0 and summary["aggregate"] > 0
+
+    # The record round-trips through JSON and renders as a table.
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(record))
+    assert json.loads(path.read_text()) == record
+    assert "fused vs scc+inlining" in format_table(record)

@@ -178,5 +178,19 @@ class Sketch:
         return MachineCode(pairs)
 
     def to_values(self, assignment: Sequence[int]) -> Dict[str, int]:
-        """Like :meth:`to_machine_code` but returning a plain dict (runtime ``values``)."""
-        return self.to_machine_code(assignment).as_dict()
+        """Like :meth:`to_machine_code` but returning a plain dict (runtime ``values``).
+
+        This sits on the CEGIS inner loop (one call per candidate), so it
+        builds the dict directly: the frozen pairs and domain values were
+        already validated when the sketch was constructed, making the
+        :class:`MachineCode` re-validation redundant.
+        """
+        if len(assignment) != len(self.search_names):
+            raise SynthesisError(
+                f"assignment has {len(assignment)} entries, sketch has {len(self.search_names)} holes"
+            )
+        values = dict(self.frozen)
+        for name, index in zip(self.search_names, assignment):
+            domain = self.domains[name]
+            values[name] = domain[index % len(domain)]
+        return values

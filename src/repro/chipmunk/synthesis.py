@@ -17,6 +17,19 @@ description, which accepts machine code as runtime values — precisely the
 pre-optimisation dgen/dsim split the paper describes in §3.4 — so the
 (comparatively expensive) code generation runs only once per sketch.
 
+Because the inner loop scores thousands of candidates against the *same*
+example set, three hot-path optimisations apply (none changes results):
+
+* the specification trace is computed once per distinct input trace and
+  cached (:meth:`SynthesisEngine._spec_outputs`) instead of being re-run for
+  every candidate;
+* one :class:`_CandidateEvaluator` pushes example PHVs through the stage
+  functions sequentially — semantically identical to the tick model for a
+  feedforward pipeline — instead of constructing a fresh simulator, pipeline
+  and trace per candidate;
+* mismatch counting early-exits as soon as a candidate is provably no better
+  than the score it is compared against.
+
 The §5.2 failure mode "the synthesis engine failed to find machine code to
 satisfy 10-bit inputs in the allotted time thus only returning machine code
 that only satisfied a limited range of values" is reproduced faithfully: when
@@ -31,13 +44,114 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import dgen
-from ..dsim import RMTSimulator, TrafficGenerator
-from ..errors import SynthesisError
+from ..dgen.emit import PipelineDescription
+from ..dsim import TrafficGenerator
+from ..errors import MissingMachineCodeError
 from ..hardware import PipelineSpec
 from ..machine_code.pairs import MachineCode
-from ..testing.equivalence import compare_traces
 from ..testing.spec import Specification
 from .sketch import Sketch
+
+
+class _CandidateEvaluator:
+    """Scores machine-code candidates against cached specification outputs.
+
+    Built once per synthesis run from the level-0 pipeline description and
+    reused for every candidate.  PHVs are pushed through the stage functions
+    one at a time, in order — for a feedforward pipeline this produces
+    exactly the tick model's outputs and state, without per-candidate
+    simulator construction, PHV objects or trace records.
+    """
+
+    def __init__(
+        self,
+        description: PipelineDescription,
+        initial_state: Optional[List[List[List[int]]]],
+        containers: Optional[Sequence[int]],
+    ):
+        self._description = description
+        self._stage_functions = list(description.stage_functions)
+        self._initial_state = initial_state
+        self._containers = list(containers) if containers is not None else None
+
+    def _fresh_state(self) -> List[List[List[int]]]:
+        if self._initial_state is None:
+            return self._description.initial_state()
+        return [[list(alu) for alu in stage] for stage in self._initial_state]
+
+    @staticmethod
+    def prepare(inputs: Sequence[Sequence[int]]) -> List[List[int]]:
+        """Coerce an input trace to container-int lists, once per example set.
+
+        Stage functions read their PHV argument and return a fresh list, so
+        prepared inputs can be handed to every candidate without copying.
+        """
+        return [[int(v) for v in phv] for phv in inputs]
+
+    def mismatches(
+        self,
+        values: Dict[str, int],
+        inputs: Sequence[Sequence[int]],
+        expected_outputs: Sequence[Sequence[int]],
+        limit: Optional[int] = None,
+    ) -> int:
+        """Count mismatching (PHV, container) pairs for one candidate.
+
+        ``limit`` early-exits the count once it exceeds ``limit`` — any
+        return value ``<= limit`` is exact, which is all the hill climber's
+        ``candidate_score <= score`` acceptance test needs.  ``inputs`` must
+        come from :meth:`prepare`.
+        """
+        state = self._fresh_state()
+        stage_functions = self._stage_functions
+        containers = self._containers
+        count = 0
+        try:
+            for outputs, expected in zip(inputs, expected_outputs):
+                for stage, function in enumerate(stage_functions):
+                    outputs = function(outputs, state[stage], values)
+                if containers is None:
+                    count += sum(
+                        1 for actual, want in zip(outputs, expected) if actual != want
+                    )
+                else:
+                    for container in containers:
+                        if outputs[container] != expected[container]:
+                            count += 1
+                if limit is not None and count > limit:
+                    return count
+        except KeyError as error:
+            raise MissingMachineCodeError(str(error.args[0])) from error
+        return count
+
+    def first_counterexample(
+        self,
+        values: Dict[str, int],
+        inputs: Sequence[Sequence[int]],
+        expected_outputs: Sequence[Sequence[int]],
+    ) -> Optional[List[int]]:
+        """The first input PHV on which the candidate diverges, or ``None``.
+
+        ``inputs`` must come from :meth:`prepare`.
+        """
+        state = self._fresh_state()
+        stage_functions = self._stage_functions
+        containers = self._containers
+        try:
+            for phv, expected in zip(inputs, expected_outputs):
+                outputs = phv
+                for stage, function in enumerate(stage_functions):
+                    outputs = function(outputs, state[stage], values)
+                if containers is None:
+                    if list(outputs) != list(expected):
+                        return list(phv)
+                elif any(
+                    outputs[container] != expected[container] for container in containers
+                ):
+                    return list(phv)
+        except KeyError as error:
+            raise MissingMachineCodeError(str(error.args[0])) from error
+        return None
 
 
 @dataclass
@@ -106,6 +220,19 @@ class SynthesisEngine:
         self._description = dgen.generate(
             pipeline_spec, machine_code=None, opt_level=dgen.OPT_UNOPTIMIZED
         )
+        # One evaluator serves every candidate; specification outputs are
+        # cached per example set (the inner search scores thousands of
+        # candidates against the same examples).
+        self._evaluator = _CandidateEvaluator(
+            self._description,
+            initial_state,
+            specification.relevant_containers,
+        )
+        self._spec_cache: Dict[Tuple[Tuple[int, ...], ...], List[tuple]] = {}
+        # Best (score, assignment) seen by the most recent failed stochastic
+        # search; surfaces the §5.2 "limited range" fallback when no
+        # iteration ever fully satisfied its example set.
+        self._best_partial: Optional[Tuple[int, List[int]]] = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -120,7 +247,7 @@ class SynthesisEngine:
             assignment = self._search(examples)
             if assignment is None:
                 return SynthesisResult(
-                    machine_code=self._best_machine_code(best_assignment),
+                    machine_code=self._best_machine_code(self._fallback_assignment(best_assignment)),
                     success=False,
                     iterations=iteration,
                     candidates_evaluated=self._candidates_evaluated,
@@ -141,7 +268,7 @@ class SynthesisEngine:
             examples.append(counterexample)
 
         return SynthesisResult(
-            machine_code=self._best_machine_code(best_assignment),
+            machine_code=self._best_machine_code(self._fallback_assignment(best_assignment)),
             success=False,
             iterations=config.max_iterations,
             candidates_evaluated=self._candidates_evaluated,
@@ -175,55 +302,85 @@ class SynthesisEngine:
             max_value=max_value,
         )
 
-    def _mismatches(self, values: Dict[str, int], inputs: Sequence[Sequence[int]]) -> int:
+    def _spec_outputs(self, inputs: Sequence[Sequence[int]]) -> List[tuple]:
+        """Expected output containers per input PHV, cached per example set.
+
+        The inner search evaluates thousands of candidates against the same
+        example set; the specification runs once per set and ``_search``
+        threads the result through every candidate evaluation.  The cache
+        additionally serves repeated ``synthesize()`` calls and direct
+        ``_mismatches`` calls; verification traces are *not* cached (each
+        CEGIS iteration draws a fresh one, so entries would never be reused
+        and the 400-PHV expected outputs would only accumulate memory).
+        """
+        key = tuple(tuple(int(v) for v in phv) for phv in inputs)
+        cached = self._spec_cache.get(key)
+        if cached is None:
+            cached = self.specification.run(inputs).outputs()
+            self._spec_cache[key] = cached
+        return cached
+
+    def _mismatches(
+        self,
+        values: Dict[str, int],
+        inputs: Sequence[Sequence[int]],
+        expected: Optional[Sequence[tuple]] = None,
+        limit: Optional[int] = None,
+    ) -> int:
         """Number of mismatching (PHV, container) pairs for one candidate."""
         self._candidates_evaluated += 1
-        simulator = RMTSimulator(
-            self._description,
-            runtime_values=values,
-            initial_state=self._copy_initial_state(),
-        )
-        result = simulator.run(inputs)
-        spec_trace = self.specification.run(inputs)
-        report = compare_traces(
-            result.output_trace, spec_trace, containers=self.specification.relevant_containers
-        )
-        return len(report.mismatches)
+        if expected is None:
+            expected = self._spec_outputs(inputs)
+        return self._evaluator.mismatches(values, inputs, expected, limit=limit)
 
     def _search(self, examples: Sequence[Sequence[int]]) -> Optional[List[int]]:
         """Find an assignment with zero mismatches on ``examples`` (or ``None``)."""
         sketch = self.sketch
+        expected = self._spec_outputs(examples)
+        prepared = self._evaluator.prepare(examples)
         if not sketch.search_names:
-            return [] if self._mismatches(sketch.to_values([]), examples) == 0 else None
+            score = self._mismatches(sketch.to_values([]), prepared, expected, limit=0)
+            return [] if score == 0 else None
         if sketch.space_size() <= self.config.exhaustive_limit:
-            return self._search_exhaustive(examples)
-        return self._search_stochastic(examples)
+            return self._search_exhaustive(prepared, expected)
+        return self._search_stochastic(prepared, expected)
 
-    def _search_exhaustive(self, examples: Sequence[Sequence[int]]) -> Optional[List[int]]:
+    def _search_exhaustive(
+        self, examples: Sequence[Sequence[int]], expected: Sequence[tuple]
+    ) -> Optional[List[int]]:
         for assignment in self.sketch.enumerate_assignments():
-            if self._mismatches(self.sketch.to_values(assignment), examples) == 0:
+            if self._mismatches(self.sketch.to_values(assignment), examples, expected, limit=0) == 0:
                 return assignment
         return None
 
-    def _search_stochastic(self, examples: Sequence[Sequence[int]]) -> Optional[List[int]]:
+    def _search_stochastic(
+        self, examples: Sequence[Sequence[int]], expected: Sequence[tuple]
+    ) -> Optional[List[int]]:
         config = self.config
         best: Optional[Tuple[int, List[int]]] = None
         for restart in range(config.restarts):
             assignment = (
                 self.sketch.zero_assignment() if restart == 0 else self.sketch.random_assignment(self._rng)
             )
-            score = self._mismatches(self.sketch.to_values(assignment), examples)
+            score = self._mismatches(self.sketch.to_values(assignment), examples, expected)
             if score == 0:
                 return assignment
             for _ in range(config.climb_steps):
                 candidate = self.sketch.mutate(assignment, self._rng, positions=1 + self._rng.randrange(2))
-                candidate_score = self._mismatches(self.sketch.to_values(candidate), examples)
+                # Scores above the incumbent are rejected whatever their exact
+                # value, so counting can stop as soon as it passes ``score``.
+                candidate_score = self._mismatches(
+                    self.sketch.to_values(candidate), examples, expected, limit=score
+                )
                 if candidate_score <= score:
                     assignment, score = candidate, candidate_score
                     if score == 0:
                         return assignment
             if best is None or score < best[0]:
-                best = (score, assignment)
+                best = (score, list(assignment))
+        # No restart satisfied every example: record the best-scoring
+        # assignment so the §5.2 "limited range" fallback can surface it.
+        self._best_partial = best
         return None
 
     def _verify(self, assignment: Sequence[int], seed: int) -> Optional[List[int]]:
@@ -232,29 +389,30 @@ class SynthesisEngine:
         generator = self._make_traffic(config.verify_max_value, seed)
         inputs = generator.generate(config.verify_phvs)
         values = self.sketch.to_values(assignment)
-        simulator = RMTSimulator(
-            self._description, runtime_values=values, initial_state=self._copy_initial_state()
-        )
-        result = simulator.run(inputs)
-        spec_trace = self.specification.run(inputs)
-        report = compare_traces(
-            result.output_trace, spec_trace, containers=self.specification.relevant_containers
-        )
-        if report.equivalent:
-            return None
-        first = report.first_mismatch
-        assert first is not None
-        return list(first.inputs)
+        # Fresh trace every iteration (seed varies), so no point caching it.
+        expected = self.specification.run(inputs).outputs()
+        prepared = self._evaluator.prepare(inputs)
+        return self._evaluator.first_counterexample(values, prepared, expected)
 
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    def _fallback_assignment(
+        self, best_assignment: Optional[Sequence[int]]
+    ) -> Optional[Sequence[int]]:
+        """The assignment a failed run should surface (paper §5.2).
+
+        An assignment that satisfied a full example set in an earlier
+        iteration wins; otherwise the best-scoring candidate from the failing
+        stochastic search — previously discarded — is returned.
+        """
+        if best_assignment is not None:
+            return best_assignment
+        if self._best_partial is not None:
+            return self._best_partial[1]
+        return None
+
     def _best_machine_code(self, assignment: Optional[Sequence[int]]) -> Optional[MachineCode]:
         if assignment is None:
             return None
         return self.sketch.to_machine_code(assignment)
-
-    def _copy_initial_state(self) -> Optional[List[List[List[int]]]]:
-        if self._initial_state is None:
-            return None
-        return [[list(alu) for alu in stage] for stage in self._initial_state]

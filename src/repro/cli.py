@@ -63,7 +63,10 @@ def dgen_main(argv: Optional[List[str]] = None) -> int:
         "--stateless-alu", default="stateless_full", help="catalogue atom name or ALU DSL file"
     )
     parser.add_argument("--machine-code", help="machine code file ('name value' lines or JSON)")
-    parser.add_argument("--opt-level", type=int, default=2, choices=(0, 1, 2))
+    parser.add_argument(
+        "--opt-level", type=int, default=2, choices=(0, 1, 2, 3),
+        help="dgen optimisation level (3 = fused trace loop, fastest simulation)",
+    )
     parser.add_argument("--name", default="pipeline")
     parser.add_argument("--output", help="write the generated source here (default: stdout)")
     parser.add_argument("--grammar", action="store_true", help="print the ALU DSL grammar and exit")
@@ -107,7 +110,10 @@ def dsim_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--stateful-alu", default="if_else_raw")
     parser.add_argument("--stateless-alu", default="stateless_full")
     parser.add_argument("--machine-code", help="machine code file; defaults to all-pass-through")
-    parser.add_argument("--opt-level", type=int, default=2, choices=(0, 1, 2))
+    parser.add_argument(
+        "--opt-level", type=int, default=2, choices=(0, 1, 2, 3),
+        help="dgen optimisation level (3 = fused trace loop, fastest simulation)",
+    )
     parser.add_argument("--phvs", type=int, default=20, help="number of PHVs to simulate")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--max-value", type=int, default=1023)
@@ -150,7 +156,10 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--phvs", type=int, default=1000)
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--opt-level", type=int, default=2, choices=(0, 1, 2))
+    parser.add_argument(
+        "--opt-level", type=int, default=2, choices=(0, 1, 2, 3),
+        help="dgen optimisation level (3 = fused trace loop, fastest simulation)",
+    )
     parser.add_argument(
         "--drop-pairs", type=int, default=0,
         help="drop this many output-mux machine-code pairs before testing (failure injection)",

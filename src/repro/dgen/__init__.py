@@ -2,7 +2,9 @@
 
 dgen converts a hardware specification (pipeline depth/width plus ALU DSL
 files) and a machine-code program into an executable *pipeline description*.
-Three optimisation levels are available, matching Figure 6 of the paper:
+Levels 0-2 match Figure 6 of the paper; level 3 extends the paper's
+specialization ladder by fusing the simulation driver itself into the
+generated code:
 
 ====  ===============================  ==========================================
 level  name                             behaviour
@@ -10,6 +12,8 @@ level  name                             behaviour
 0      unoptimized                      machine code looked up at simulation time
 1      scc_propagation                  constants propagated, branches pruned
 2      scc_propagation_and_inlining     helper functions inlined away
+3      fused_pipeline                   level 2 plus a generated ``run_trace``
+                                        loop the simulator uses as a fast path
 ====  ===============================  ==========================================
 
 Typical use::
@@ -30,6 +34,7 @@ from ..machine_code.pairs import MachineCode
 from .codegen import (
     ALUCode,
     ALUFunctionGenerator,
+    OPT_FUSED,
     OPT_LEVEL_NAMES,
     OPT_LEVELS,
     OPT_SCC,
@@ -96,6 +101,7 @@ __all__ = [
     "OPT_UNOPTIMIZED",
     "OPT_SCC",
     "OPT_SCC_INLINE",
+    "OPT_FUSED",
     "OPT_LEVELS",
     "OPT_LEVEL_NAMES",
 ]

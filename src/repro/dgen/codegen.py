@@ -16,6 +16,11 @@ levels of the paper (Figure 6):
 * **level 2** (version 3, SCC propagation + function inlining): the helper
   functions disappear entirely; their specialised bodies are inlined into the
   ALU function, which typically collapses to a handful of assignments.
+* **level 3** (fused pipeline): ALU-level code is identical to level 2, but
+  the pipeline builder additionally emits a generated ``run_trace`` function
+  that loops over the whole input trace inline — one more rung on the paper's
+  specialization ladder, moving the simulation driver itself into the
+  generated code (see :mod:`repro.dgen.pipeline_builder`).
 """
 
 from __future__ import annotations
@@ -57,12 +62,16 @@ from .optimize.inlining import inline_call
 OPT_UNOPTIMIZED = 0
 OPT_SCC = 1
 OPT_SCC_INLINE = 2
-OPT_LEVELS = (OPT_UNOPTIMIZED, OPT_SCC, OPT_SCC_INLINE)
+OPT_FUSED = 3
+OPT_LEVELS = (OPT_UNOPTIMIZED, OPT_SCC, OPT_SCC_INLINE, OPT_FUSED)
 OPT_LEVEL_NAMES = {
     OPT_UNOPTIMIZED: "unoptimized",
     OPT_SCC: "scc_propagation",
     OPT_SCC_INLINE: "scc_propagation_and_inlining",
+    OPT_FUSED: "fused_pipeline",
 }
+#: Levels at which helper functions are inlined into the ALU functions.
+_INLINE_LEVELS = (OPT_SCC_INLINE, OPT_FUSED)
 
 
 def alu_function_name(stage: int, kind: str, slot: int) -> str:
@@ -170,7 +179,7 @@ class ALUFunctionGenerator:
             body.append(ir.Comment("default output: value of the first state variable before update"))
             body.append(ir.Assign("_default_output", "state[0]"))
 
-        if self.opt_level == OPT_SCC_INLINE:
+        if self.opt_level in _INLINE_LEVELS:
             specialized = specialize_spec(self.spec, self._local_holes or {})
             body.extend(self._emit_stmts(specialized.body))
         else:
@@ -288,7 +297,7 @@ class ALUFunctionGenerator:
             return f"{helper}({', '.join(args)})"
 
         template, _arity = specialize_primitive_template(expr, self._local_holes or {})
-        if self.opt_level == OPT_SCC_INLINE:
+        if self.opt_level in _INLINE_LEVELS:
             return inline_call(template, operand_codes)
         # OPT_SCC: keep the helper-call structure of Figure 6 version 2, but the
         # helper body is the single specialised expression.  Immediates are an

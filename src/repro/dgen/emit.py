@@ -36,8 +36,8 @@ class PipelineDescription:
     spec:
         The hardware configuration the description was generated for.
     opt_level:
-        0 (unoptimised), 1 (SCC propagation) or 2 (SCC propagation +
-        function inlining).
+        0 (unoptimised), 1 (SCC propagation), 2 (SCC propagation +
+        function inlining) or 3 (fused trace loop).
     machine_code:
         The machine code baked into the description (``None`` only for the
         unoptimised level, where machine code is looked up at runtime).
@@ -67,6 +67,16 @@ class PipelineDescription:
         if not isinstance(functions, list) or len(functions) != self.spec.depth:
             raise CodegenError("pipeline description namespace is missing STAGE_FUNCTIONS")
         return functions  # type: ignore[return-value]
+
+    @property
+    def fused_function(self) -> Optional[Callable]:
+        """The fused ``run_trace(inputs, state, values)`` entry point, if emitted.
+
+        Present only at opt level 3; :class:`repro.dsim.RMTSimulator` uses it
+        as a fast path that bypasses the per-tick pipeline machinery.
+        """
+        function = self.namespace.get("RUN_TRACE")
+        return function if callable(function) else None
 
     @property
     def opt_level_name(self) -> str:

@@ -6,6 +6,12 @@
   (substitute machine-code values, fold, prune) at both the helper-function
   and the fully-inlined granularity.
 * :mod:`inlining` — function inlining of specialised helper bodies.
+
+These passes run over the ALU DSL before lowering to the IR.  A second,
+IR-level fusion step exists at opt level 3: the pipeline builder inlines the
+already-optimised ALU bodies into a generated ``run_trace`` loop, pruning
+dead stateless ALUs and hoisting loop-invariant state lookups on the way
+(see :mod:`repro.dgen.pipeline_builder`).
 """
 
 from .constant_propagation import (

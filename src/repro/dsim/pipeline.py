@@ -14,6 +14,11 @@ the per-stage stateful-ALU state vectors, and implements one simulation tick:
    stage forward, and the incoming PHV (if any) occupies stage 0;
 3. *execute*: every stage holding a PHV runs its generated stage function on
    the PHV's read half and records the result in the write half.
+
+This class is the tick-accurate model; descriptions generated at opt level 3
+also carry a fused ``run_trace`` loop that :class:`repro.dsim.RMTSimulator`
+prefers (bit-for-bit equivalent for a feedforward pipeline, much faster).
+The debugger's recorder always drives this class, tick by tick.
 """
 
 from __future__ import annotations

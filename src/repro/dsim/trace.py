@@ -9,12 +9,16 @@ the high-level specification on the same input trace (Figure 5).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence
 
 
-@dataclass(frozen=True)
-class TraceRecord:
-    """One PHV's journey: its identifier, input values and output values."""
+class TraceRecord(NamedTuple):
+    """One PHV's journey: its identifier, input values and output values.
+
+    A named tuple rather than a dataclass: traces hold one record per PHV,
+    so record construction sits on the simulation hot path (tuple
+    construction is several times cheaper than frozen-dataclass ``__init__``).
+    """
 
     phv_id: int
     inputs: tuple

@@ -70,6 +70,19 @@ class If(IRStmt):
 
 
 @dataclass
+class For(IRStmt):
+    """A ``for target in iterable`` loop.
+
+    Used by the fused (opt level 3) pipeline description, whose generated
+    ``run_trace`` function loops over the whole input trace inline.
+    """
+
+    target: str
+    iterable: str
+    body: List[IRStmt] = field(default_factory=list)
+
+
+@dataclass
 class FunctionDef:
     """A top-level function definition in the generated module."""
 
@@ -113,6 +126,8 @@ class Module:
                     for _cond, body in statement.branches:
                         total += count(body)
                     total += count(statement.orelse)
+                elif isinstance(statement, For):
+                    total += count(statement.body)
             return total
 
         total = len(self.globals) + count(self.trailer)

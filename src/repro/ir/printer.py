@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import List
 
-from .nodes import Assign, Comment, ExprStmt, FunctionDef, If, IRStmt, Module, Pass, Return
+from .nodes import Assign, Comment, ExprStmt, For, FunctionDef, If, IRStmt, Module, Pass, Return
 
 _INDENT = "    "
 
@@ -42,6 +42,13 @@ def _emit_stmt(statement: IRStmt, indent: int, lines: List[str]) -> None:
             lines.append(f"{pad}else:")
             for inner in statement.orelse:
                 _emit_stmt(inner, indent + 1, lines)
+    elif isinstance(statement, For):
+        lines.append(f"{pad}for {statement.target} in {statement.iterable}:")
+        if statement.body:
+            for inner in statement.body:
+                _emit_stmt(inner, indent + 1, lines)
+        else:
+            lines.append(f"{pad}{_INDENT}pass")
     else:  # pragma: no cover - defensive
         raise TypeError(f"unknown IR statement {type(statement).__name__}")
 

@@ -36,16 +36,24 @@ class Mismatch:
 
 @dataclass
 class EquivalenceReport:
-    """Result of comparing a pipeline output trace against a specification trace."""
+    """Result of comparing a pipeline output trace against a specification trace.
+
+    ``mismatch_count`` counts every disagreement seen, including those not
+    materialised as :class:`Mismatch` objects (count-only mode) or skipped by
+    an early exit (``limit``); ``truncated`` records that the comparison
+    stopped early, in which case ``mismatch_count`` is a lower bound.
+    """
 
     compared_phvs: int
     compared_containers: Sequence[int]
     mismatches: List[Mismatch] = field(default_factory=list)
+    mismatch_count: int = 0
+    truncated: bool = False
 
     @property
     def equivalent(self) -> bool:
         """True when the two traces agree on every compared container."""
-        return not self.mismatches
+        return self.mismatch_count == 0 and not self.mismatches
 
     @property
     def first_mismatch(self) -> Optional[Mismatch]:
@@ -59,9 +67,10 @@ class EquivalenceReport:
                 f"traces equivalent over {self.compared_phvs} PHVs "
                 f"(containers {list(self.compared_containers)})"
             )
+        count = max(self.mismatch_count, len(self.mismatches))
         lines = [
-            f"{len(self.mismatches)} mismatch(es) over {self.compared_phvs} PHVs "
-            f"(containers {list(self.compared_containers)}):"
+            f"{count}{'+' if self.truncated else ''} mismatch(es) over "
+            f"{self.compared_phvs} PHVs (containers {list(self.compared_containers)}):"
         ]
         lines.extend(mismatch.describe() for mismatch in self.mismatches[:limit])
         if len(self.mismatches) > limit:
@@ -78,6 +87,8 @@ def compare_traces(
     pipeline_trace: Trace,
     spec_trace: Trace,
     containers: Optional[Sequence[int]] = None,
+    count_only: bool = False,
+    limit: Optional[int] = None,
 ) -> EquivalenceReport:
     """Compare two output traces record by record.
 
@@ -85,6 +96,19 @@ def compare_traces(
     containers; when omitted every container is compared.  The traces must
     describe the same number of PHVs (they were produced from the same input
     trace).
+
+    Two knobs serve hot loops that only need a verdict or a first
+    counterexample rather than the full mismatch list (the bounded
+    exhaustive checks in :mod:`repro.verification.bounded` screen up to
+    100k traces this way; the CEGIS inner search uses the same idea via its
+    own :class:`repro.chipmunk.synthesis._CandidateEvaluator`):
+
+    * ``count_only`` skips building :class:`Mismatch` objects; only
+      ``mismatch_count`` is filled in.
+    * ``limit`` stops the comparison once more than ``limit`` mismatches have
+      been seen.  ``limit=0`` stops at the very first mismatch — which is
+      still materialised unless ``count_only`` is set, so it doubles as a
+      cheap "find one counterexample" mode.
     """
     if len(pipeline_trace) != len(spec_trace):
         raise EquivalenceError(
@@ -96,17 +120,24 @@ def compare_traces(
 
     report = EquivalenceReport(compared_phvs=len(pipeline_trace), compared_containers=list(containers))
     for pipeline_record, spec_record in zip(pipeline_trace, spec_trace):
+        outputs = pipeline_record.outputs
+        expected_outputs = spec_record.outputs
         for container in containers:
-            actual = pipeline_record.outputs[container]
-            expected = spec_record.outputs[container]
+            actual = outputs[container]
+            expected = expected_outputs[container]
             if actual != expected:
-                report.mismatches.append(
-                    Mismatch(
-                        phv_id=pipeline_record.phv_id,
-                        container=container,
-                        expected=expected,
-                        actual=actual,
-                        inputs=pipeline_record.inputs,
+                report.mismatch_count += 1
+                if not count_only:
+                    report.mismatches.append(
+                        Mismatch(
+                            phv_id=pipeline_record.phv_id,
+                            container=container,
+                            expected=expected,
+                            actual=actual,
+                            inputs=pipeline_record.inputs,
+                        )
                     )
-                )
+                if limit is not None and report.mismatch_count > limit:
+                    report.truncated = True
+                    return report
     return report

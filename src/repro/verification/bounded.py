@@ -106,10 +106,19 @@ def check_bounded_equivalence(
         simulator = RMTSimulator(description, initial_state=fresh_state())
         result = simulator.run(trace)
         expected = specification.run(trace)
-        report = compare_traces(
-            result.output_trace, expected, containers=specification.relevant_containers
+        # Fast screen first (count-only, stop at the first disagreement);
+        # the full mismatch report is only built for the counterexample.
+        screen = compare_traces(
+            result.output_trace,
+            expected,
+            containers=specification.relevant_containers,
+            count_only=True,
+            limit=0,
         )
-        if not report.equivalent:
+        if not screen.equivalent:
+            report = compare_traces(
+                result.output_trace, expected, containers=specification.relevant_containers
+            )
             return BoundedCheckResult(
                 verified=False,
                 traces_checked=traces_checked,
@@ -134,12 +143,13 @@ def check_optimization_equivalence(
     initial_state: Optional[List[List[List[int]]]] = None,
     max_traces: int = 100_000,
 ) -> BoundedCheckResult:
-    """Prove that the three dgen optimisation levels agree over a bounded domain.
+    """Prove that every dgen optimisation level agrees over a bounded domain.
 
     This is the verification-strength version of the property-based test that
     guards the §3.4 optimisations: for every trace in the bounded domain the
-    unoptimised, SCC-propagated and inlined pipeline descriptions must produce
-    identical outputs and final state.
+    unoptimised, SCC-propagated, inlined and fused pipeline descriptions must
+    produce identical outputs and final state (the fused level additionally
+    exercises the generated ``run_trace`` fast path).
     """
     domain = sorted(set(int(v) for v in value_domain))
     if not domain:
@@ -167,7 +177,7 @@ def check_optimization_equivalence(
         for level, description in descriptions.items():
             results[level] = RMTSimulator(description, initial_state=fresh_state()).run(trace)
         baseline = results[dgen.OPT_UNOPTIMIZED]
-        for level in (dgen.OPT_SCC, dgen.OPT_SCC_INLINE):
+        for level in (dgen.OPT_SCC, dgen.OPT_SCC_INLINE, dgen.OPT_FUSED):
             candidate = results[level]
             if candidate.outputs != baseline.outputs or candidate.final_state != baseline.final_state:
                 report = compare_traces(candidate.output_trace, baseline.output_trace)
