@@ -1,71 +1,133 @@
-"""bench_smoke: a scaled-down Table-1 sweep that records the perf trajectory.
+"""bench_smoke: a scaled-down benchmark sweep that records the perf trajectory.
 
-Runs every Table-1 benchmark program at every dgen optimisation level for a
-modest PHV count and writes per-(program, level) throughput (PHVs/sec) to a
-JSON file — ``BENCH_PR1.json`` by default, establishing the perf trajectory
-file that future PRs extend (``BENCH_PR2.json``, ...).  The headline metric
-is the fused (opt level 3) speedup over ``scc_propagation_and_inlining``
-(opt level 2), reported per program plus as geomean and aggregate
-(total-PHVs / total-seconds) ratios.
+Runs every Table-1 benchmark program at every dgen optimisation level and
+writes per-(program, level) throughput (PHVs/sec) to a JSON file —
+``BENCH_PR2.json`` by default, extending the trajectory started by
+``BENCH_PR1.json``.  Two headline ratios are reported per program:
+
+* ``fused vs tick`` — the generated ``run_trace`` loop (opt level 3, with
+  the peephole pass) against the paper's tick-accurate interpreter driving
+  the opt-level-2 description.  This is the like-for-like continuation of
+  the PR-1 trajectory, whose level-0..2 cells ran the tick interpreter.
+* ``fused vs inlining`` — against the opt-level-2 description under the
+  engine layer's *generic sequential driver* (the new default below level
+  3), i.e. the remaining win of generating the driver itself.
+
+Since PR 2 the sweep also covers the dRMT engine: packets/sec for the
+bundled P4 programs under the tick, generic and fused drivers.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_smoke.py [--phvs 3000] [--rounds 3]
-        [--programs sampling,conga] [--output BENCH_PR1.json]
+        [--programs sampling,conga] [--output BENCH_PR2.json]
 
-A pytest-marked wrapper lives in ``test_bench_smoke.py``; run it with
+``--rounds`` defaults to the ``DRUZHBA_BENCH_ROUNDS`` environment variable
+(default 1); each cell keeps the best of that many rounds.  A pytest-marked
+wrapper lives in ``test_bench_smoke.py``; run it with
 ``pytest -m bench_smoke``.
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import math
+import os
 import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro import dgen
+from repro.drmt import DRMTSimulator, DrmtHardwareParams, generate_bundle
+from repro.drmt.traffic import PacketGenerator
 from repro.dsim import RMTSimulator
+from repro.p4 import samples
 from repro.programs import TABLE1_ORDER, get_program
 
 #: Levels swept, in ladder order.
 LEVELS: Dict[int, str] = {level: dgen.OPT_LEVEL_NAMES[level] for level in dgen.OPT_LEVELS}
+#: Extra cell: the opt-level-2 description under the tick-accurate driver
+#: (the PR-1 baseline, where levels 0-2 always ran the tick interpreter).
+TICK_BASELINE = "tick_level2"
+
+#: dRMT programs swept (name -> (program factory, table entries)).
+DRMT_PROGRAMS = {
+    "simple_router": (samples.simple_router, samples.SIMPLE_ROUTER_ENTRIES),
+    "telemetry_pipeline": (samples.telemetry_pipeline, samples.TELEMETRY_ENTRIES),
+}
+DRMT_ENGINES = ("tick", "generic", "fused")
+
+#: Default timing rounds (CI can raise via the environment).
+DEFAULT_ROUNDS = max(1, int(os.environ.get("DRUZHBA_BENCH_ROUNDS", "1")))
 
 
-def measure_cell(program, level: int, phvs: int, rounds: int) -> Dict[str, float]:
+def _best_of(rounds: int, run) -> float:
+    """Best-of-``rounds`` wall time of ``run`` with the GC kept out.
+
+    Sub-5ms cells are otherwise at the mercy of collections triggered by
+    garbage the rest of a test session left behind (a single gen-2 pause can
+    dwarf the fused loop's whole runtime).
+    """
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        best = math.inf
+        for _ in range(rounds):
+            start = time.perf_counter()
+            run()
+            best = min(best, time.perf_counter() - start)
+        return best
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def measure_cell(
+    program, level: int, phvs: int, rounds: int, tick_accurate: bool = False
+) -> Dict[str, float]:
     """Best-of-``rounds`` simulation throughput for one (program, level) cell."""
     description = dgen.generate(
         program.pipeline_spec(), program.machine_code(), opt_level=level
     )
     inputs = program.traffic_generator(seed=42).generate(phvs)
-    best = math.inf
-    for _ in range(rounds):
+    engine = None
+
+    def run():
+        nonlocal engine
         simulator = RMTSimulator(
             description, initial_state=program.initial_pipeline_state()
         )
-        start = time.perf_counter()
-        result = simulator.run(inputs)
-        best = min(best, time.perf_counter() - start)
+        result = simulator.run(inputs, tick_accurate=tick_accurate)
         assert len(result.output_trace) == phvs
-    return {"seconds": best, "phvs_per_sec": phvs / best}
+        engine = result.engine
+
+    best = _best_of(rounds, run)
+    return {"seconds": best, "phvs_per_sec": phvs / best, "engine": engine}
 
 
-def run_sweep(
-    phvs: int, rounds: int, program_names: Optional[Sequence[str]] = None
-) -> dict:
-    """Sweep programs × levels and assemble the trajectory record."""
-    names: List[str] = list(program_names) if program_names else list(TABLE1_ORDER)
-    programs: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for name in names:
-        program = get_program(name)
-        programs[name] = {
-            label: measure_cell(program, level, phvs, rounds)
-            for level, label in LEVELS.items()
-        }
+def measure_drmt_cell(name: str, engine: str, packets: int, rounds: int) -> Dict[str, float]:
+    """Best-of-``rounds`` dRMT throughput for one (program, engine) cell."""
+    build_program, entries = DRMT_PROGRAMS[name]
+    bundle = generate_bundle(build_program(), DrmtHardwareParams(num_processors=4))
+    if engine == "fused":
+        bundle.fused_program()  # build outside the measured region
+    trace = PacketGenerator(bundle.program, seed=42).generate(packets)
 
-    baseline = LEVELS[dgen.OPT_SCC_INLINE]
+    def run():
+        simulator = DRMTSimulator(bundle, table_entries=entries, engine=engine)
+        result = simulator.run_packets(trace)
+        assert result.packets_processed == packets
+        assert result.engine == engine
+
+    best = _best_of(rounds, run)
+    return {"seconds": best, "packets_per_sec": packets / best}
+
+
+def _ratios(programs: Dict[str, Dict[str, Dict[str, float]]], baseline: str) -> dict:
+    if not programs:
+        return {"per_program": {}, "geomean": 1.0, "aggregate": 1.0}
     fused = LEVELS[dgen.OPT_FUSED]
     per_program = {
         name: cells[baseline]["seconds"] / cells[fused]["seconds"]
@@ -74,20 +136,73 @@ def run_sweep(
     total_baseline = sum(cells[baseline]["seconds"] for cells in programs.values())
     total_fused = sum(cells[fused]["seconds"] for cells in programs.values())
     return {
+        "per_program": per_program,
+        "geomean": math.exp(
+            sum(math.log(ratio) for ratio in per_program.values()) / len(per_program)
+        ),
+        "aggregate": total_baseline / total_fused,
+    }
+
+
+def run_sweep(
+    phvs: int,
+    rounds: int,
+    program_names: Optional[Sequence[str]] = None,
+    drmt_packets: int = 2000,
+    drmt_names: Optional[Sequence[str]] = None,
+) -> dict:
+    """Sweep programs × levels (plus the dRMT engines) and assemble the record.
+
+    ``program_names``/``drmt_names`` default (``None``) to the full program
+    sets; pass an explicit empty list to skip that side of the sweep.
+    """
+    names: List[str] = (
+        list(program_names) if program_names is not None else list(TABLE1_ORDER)
+    )
+    programs: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in names:
+        program = get_program(name)
+        cells = {
+            label: measure_cell(program, level, phvs, rounds)
+            for level, label in LEVELS.items()
+        }
+        cells[TICK_BASELINE] = measure_cell(
+            program, dgen.OPT_SCC_INLINE, phvs, rounds, tick_accurate=True
+        )
+        programs[name] = cells
+
+    drmt: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in drmt_names if drmt_names is not None else sorted(DRMT_PROGRAMS):
+        drmt[name] = {
+            engine: measure_drmt_cell(name, engine, drmt_packets, rounds)
+            for engine in DRMT_ENGINES
+        }
+
+    record = {
         "benchmark": "table1_smoke",
-        "pr": 1,
+        "pr": 2,
         "phvs_per_program": phvs,
         "rounds": rounds,
-        "levels": list(LEVELS.values()),
+        "levels": list(LEVELS.values()) + [TICK_BASELINE],
         "programs": programs,
-        "speedup_fused_vs_inlining": {
-            "per_program": per_program,
-            "geomean": math.exp(
-                sum(math.log(ratio) for ratio in per_program.values()) / len(per_program)
-            ),
-            "aggregate": total_baseline / total_fused,
+        "speedup_fused_vs_tick": _ratios(programs, TICK_BASELINE),
+        "speedup_fused_vs_inlining": _ratios(programs, LEVELS[dgen.OPT_SCC_INLINE]),
+        "drmt": {
+            "packets_per_program": drmt_packets,
+            "num_processors": 4,
+            "programs": drmt,
         },
     }
+    if drmt:
+        record["drmt"]["speedup_fused_vs_tick"] = {
+            name: cells["tick"]["seconds"] / cells["fused"]["seconds"]
+            for name, cells in drmt.items()
+        }
+        record["drmt"]["speedup_generic_vs_tick"] = {
+            name: cells["tick"]["seconds"] / cells["generic"]["seconds"]
+            for name, cells in drmt.items()
+        }
+    return record
 
 
 _SHORT_LABELS = {
@@ -95,6 +210,7 @@ _SHORT_LABELS = {
     "scc_propagation": "scc",
     "scc_propagation_and_inlining": "scc+inline",
     "fused_pipeline": "fused",
+    TICK_BASELINE: "tick(lvl2)",
 }
 
 
@@ -105,34 +221,59 @@ def format_table(record: dict) -> str:
         f"best of {record['rounds']} round(s)",
         f"{'Program':20s} "
         + "".join(f"{_SHORT_LABELS.get(label, label):>14s}" for label in record["levels"])
-        + f"{'fused/inline':>14s}",
+        + f"{'fused/tick':>12s}",
     ]
-    speedups = record["speedup_fused_vs_inlining"]["per_program"]
+    speedups = record["speedup_fused_vs_tick"]["per_program"]
     for name, cells in record["programs"].items():
         rates = "".join(f"{cells[label]['phvs_per_sec']:>12.0f}/s" for label in record["levels"])
-        lines.append(f"{name:20s} {rates}{speedups[name]:>13.2f}x")
-    summary = record["speedup_fused_vs_inlining"]
+        lines.append(f"{name:20s} {rates}{speedups[name]:>11.2f}x")
+    tick_summary = record["speedup_fused_vs_tick"]
+    inline_summary = record["speedup_fused_vs_inlining"]
     lines.append(
-        f"fused vs scc+inlining: geomean {summary['geomean']:.2f}x, "
-        f"aggregate {summary['aggregate']:.2f}x"
+        f"fused vs tick(level 2):  geomean {tick_summary['geomean']:.2f}x, "
+        f"aggregate {tick_summary['aggregate']:.2f}x"
     )
+    lines.append(
+        f"fused vs scc+inlining:   geomean {inline_summary['geomean']:.2f}x, "
+        f"aggregate {inline_summary['aggregate']:.2f}x"
+    )
+    drmt = record.get("drmt", {})
+    if drmt.get("programs"):
+        lines.append(
+            f"dRMT ({drmt['packets_per_program']} packets, "
+            f"{drmt['num_processors']} processors):"
+        )
+        for name, cells in drmt["programs"].items():
+            rates = "".join(
+                f"{engine} {cells[engine]['packets_per_sec']:>8.0f}/s  "
+                for engine in DRMT_ENGINES
+            )
+            ratio = drmt["speedup_fused_vs_tick"][name]
+            lines.append(f"  {name:20s} {rates}fused/tick {ratio:.2f}x")
     return "\n".join(lines)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="bench_smoke", description="Scaled-down Table-1 sweep (all opt levels)."
+        prog="bench_smoke",
+        description="Scaled-down benchmark sweep (all opt levels, both engines).",
     )
-    parser.add_argument("--phvs", type=int, default=3000, help="PHVs per program")
-    parser.add_argument("--rounds", type=int, default=3, help="timing rounds (best kept)")
+    parser.add_argument("--phvs", type=int, default=3000, help="PHVs per RMT program")
     parser.add_argument(
-        "--programs", help="comma-separated program subset (default: all 12)"
+        "--rounds", type=int, default=DEFAULT_ROUNDS,
+        help="timing rounds, best kept (default: DRUZHBA_BENCH_ROUNDS or 1)",
     )
-    parser.add_argument("--output", default="BENCH_PR1.json", help="output JSON path")
+    parser.add_argument(
+        "--programs", help="comma-separated Table-1 program subset (default: all 12)"
+    )
+    parser.add_argument(
+        "--drmt-packets", type=int, default=2000, help="packets per dRMT program"
+    )
+    parser.add_argument("--output", default="BENCH_PR2.json", help="output JSON path")
     args = parser.parse_args(argv)
 
     names = args.programs.split(",") if args.programs else None
-    record = run_sweep(args.phvs, args.rounds, names)
+    record = run_sweep(args.phvs, args.rounds, names, drmt_packets=args.drmt_packets)
     Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
     print(format_table(record))
     print(f"wrote {args.output}")

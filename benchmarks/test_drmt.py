@@ -44,8 +44,9 @@ def test_dependency_analysis_and_scheduling(benchmark, program_name):
     benchmark.extra_info["tables"] = len(program.tables)
 
 
+@pytest.mark.parametrize("engine", ["tick", "fused"])
 @pytest.mark.parametrize("num_processors", [1, 2, 4])
-def test_drmt_simulation_throughput(benchmark, num_processors, drmt_packets):
+def test_drmt_simulation_throughput(benchmark, num_processors, engine, drmt_packets, bench_rounds):
     """Packets/tick as processors are added (round-robin dispatch, shared tables)."""
     program = samples.simple_router()
     bundle = generate_bundle(program, DrmtHardwareParams(num_processors=num_processors))
@@ -61,12 +62,16 @@ def test_drmt_simulation_throughput(benchmark, num_processors, drmt_packets):
     packets = generator.generate(drmt_packets)
 
     def run():
-        simulator = DRMTSimulator(bundle, table_entries=samples.SIMPLE_ROUTER_ENTRIES)
+        simulator = DRMTSimulator(
+            bundle, table_entries=samples.SIMPLE_ROUTER_ENTRIES, engine=engine
+        )
         return simulator.run_packets(packets)
 
-    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    result = benchmark.pedantic(run, rounds=bench_rounds, iterations=1, warmup_rounds=0)
     assert result.packets_processed == drmt_packets
+    assert result.engine == engine
     benchmark.extra_info["processors"] = num_processors
+    benchmark.extra_info["engine"] = engine
     benchmark.extra_info["packets_per_tick"] = round(result.throughput(), 3)
     benchmark.extra_info["ticks"] = result.ticks
 

@@ -63,7 +63,7 @@ def _run_simulation(description, inputs, initial_state):
 
 @pytest.mark.parametrize("level", LEVELS, ids=[LEVEL_LABELS[level] for level in LEVELS])
 @pytest.mark.parametrize("program_name", TABLE1_ORDER)
-def test_table1(benchmark, program_name, level, bench_phvs):
+def test_table1(benchmark, program_name, level, bench_phvs, bench_rounds):
     """One Table-1 cell: one program simulated at one optimisation level."""
     program = get_program(program_name)
     pipeline_spec = program.pipeline_spec()
@@ -75,7 +75,7 @@ def test_table1(benchmark, program_name, level, bench_phvs):
     result = benchmark.pedantic(
         _run_simulation,
         args=(description, inputs, initial_state),
-        rounds=1,
+        rounds=bench_rounds,
         iterations=1,
         warmup_rounds=1,
     )

@@ -46,6 +46,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .. import dgen
 from ..dgen.emit import PipelineDescription
 from ..dsim import TrafficGenerator
+from ..engine.rmt import push_phv, stage_pairs
 from ..errors import MissingMachineCodeError
 from ..hardware import PipelineSpec
 from ..machine_code.pairs import MachineCode
@@ -57,10 +58,14 @@ class _CandidateEvaluator:
     """Scores machine-code candidates against cached specification outputs.
 
     Built once per synthesis run from the level-0 pipeline description and
-    reused for every candidate.  PHVs are pushed through the stage functions
-    one at a time, in order — for a feedforward pipeline this produces
-    exactly the tick model's outputs and state, without per-candidate
-    simulator construction, PHV objects or trace records.
+    reused for every candidate.  Execution is the engine layer's *generic
+    sequential driver* (:mod:`repro.engine.rmt`): PHVs are pushed through
+    the stage functions one at a time, in order — for a feedforward pipeline
+    this produces exactly the tick model's outputs and state, without
+    per-candidate simulator construction, PHV objects or trace records.
+    Scoring keeps its own inner loop on top of the shared
+    :func:`~repro.engine.rmt.stage_pairs` layout so mismatch counting can
+    early-exit mid-trace.
     """
 
     def __init__(
@@ -102,14 +107,13 @@ class _CandidateEvaluator:
         ``candidate_score <= score`` acceptance test needs.  ``inputs`` must
         come from :meth:`prepare`.
         """
-        state = self._fresh_state()
-        stage_functions = self._stage_functions
+        pairs = stage_pairs(self._stage_functions, self._fresh_state())
         containers = self._containers
         count = 0
         try:
             for outputs, expected in zip(inputs, expected_outputs):
-                for stage, function in enumerate(stage_functions):
-                    outputs = function(outputs, state[stage], values)
+                for function, stage_state in pairs:
+                    outputs = function(outputs, stage_state, values)
                 if containers is None:
                     count += sum(
                         1 for actual, want in zip(outputs, expected) if actual != want
@@ -134,14 +138,11 @@ class _CandidateEvaluator:
 
         ``inputs`` must come from :meth:`prepare`.
         """
-        state = self._fresh_state()
-        stage_functions = self._stage_functions
+        pairs = stage_pairs(self._stage_functions, self._fresh_state())
         containers = self._containers
         try:
             for phv, expected in zip(inputs, expected_outputs):
-                outputs = phv
-                for stage, function in enumerate(stage_functions):
-                    outputs = function(outputs, state[stage], values)
+                outputs = push_phv(pairs, phv, values)
                 if containers is None:
                     if list(outputs) != list(expected):
                         return list(phv)

@@ -21,6 +21,7 @@ from . import atoms, dgen
 from .alu_dsl import grammar, parse_and_analyze
 from .dsim import RMTSimulator, TrafficGenerator
 from .drmt import DRMTSimulator, DrmtHardwareParams, generate_bundle
+from .engine.base import ENGINE_CHOICES
 from .errors import DruzhbaError
 from .hardware import PipelineSpec, describe_pipeline
 from .machine_code import MachineCode
@@ -118,6 +119,11 @@ def dsim_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--max-value", type=int, default=1023)
     parser.add_argument("--name", default="pipeline")
+    parser.add_argument(
+        "--engine", default="auto", choices=ENGINE_CHOICES,
+        help="execution driver (auto = fused when available, else the generic "
+             "sequential driver; tick = the paper's per-tick model)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -130,11 +136,12 @@ def dsim_main(argv: Optional[List[str]] = None) -> int:
         traffic = TrafficGenerator(
             num_containers=spec.width, seed=args.seed, max_value=args.max_value
         )
-        result = RMTSimulator(description).run_traffic(traffic, args.phvs)
+        result = RMTSimulator(description, engine=args.engine).run_traffic(traffic, args.phvs)
     except DruzhbaError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 
+    print(f"engine: {result.engine}", file=sys.stderr)
     print(result.output_trace.format(limit=args.phvs))
     return 0
 
@@ -164,6 +171,10 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
         "--drop-pairs", type=int, default=0,
         help="drop this many output-mux machine-code pairs before testing (failure injection)",
     )
+    parser.add_argument(
+        "--engine", default="auto", choices=ENGINE_CHOICES,
+        help="execution driver for the simulation leg of the workflow",
+    )
     args = parser.parse_args(argv)
 
     programs = all_programs() if args.program == "all" else [get_program(args.program)]
@@ -179,7 +190,12 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
         tester = FuzzTester(
             spec,
             program.specification(),
-            config=FuzzConfig(num_phvs=args.phvs, seed=args.seed, opt_level=args.opt_level),
+            config=FuzzConfig(
+                num_phvs=args.phvs,
+                seed=args.seed,
+                opt_level=args.opt_level,
+                engine=args.engine,
+            ),
             traffic_generator=program.traffic_generator(seed=args.seed),
             initial_state=program.initial_pipeline_state(),
         )
@@ -206,6 +222,15 @@ def drmt_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--ticks-per-match", type=int, default=2)
     parser.add_argument("--ticks-per-action", type=int, default=1)
     parser.add_argument("--milp", action="store_true", help="use the MILP scheduler when available")
+    parser.add_argument(
+        "--engine", default="auto", choices=ENGINE_CHOICES,
+        help="execution driver (auto = the generated fused run_trace when it builds, "
+             "tick = the paper's per-tick processor loop)",
+    )
+    parser.add_argument(
+        "--dump-fused", action="store_true",
+        help="print the generated fused dRMT program source and exit",
+    )
     args = parser.parse_args(argv)
 
     from .p4 import samples
@@ -227,9 +252,12 @@ def drmt_main(argv: Optional[List[str]] = None) -> int:
             ticks_per_action=args.ticks_per_action,
         )
         bundle = generate_bundle(source, hardware, use_milp=args.milp)
+        if args.dump_fused:
+            print(bundle.fused_program().source)
+            return 0
         print(bundle.describe())
         print(bundle.schedule.describe())
-        simulator = DRMTSimulator(bundle, table_entries=entries)
+        simulator = DRMTSimulator(bundle, table_entries=entries, engine=args.engine)
         result = simulator.run_traffic(args.packets, seed=args.seed)
     except DruzhbaError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -5,7 +5,15 @@ through it, set breakpoints on container or state values, and trace the
 per-stage journey of any PHV.
 """
 
-from .recorder import ExecutionRecording, StageOccupancy, TickSnapshot, record_execution
+from .recorder import (
+    ExecutionRecording,
+    FusedRecording,
+    FusedStageSnapshot,
+    StageOccupancy,
+    TickSnapshot,
+    record_execution,
+    record_fused_execution,
+)
 from .session import (
     Breakpoint,
     TimeTravelDebugger,
@@ -16,7 +24,10 @@ from .session import (
 
 __all__ = [
     "record_execution",
+    "record_fused_execution",
     "ExecutionRecording",
+    "FusedRecording",
+    "FusedStageSnapshot",
     "TickSnapshot",
     "StageOccupancy",
     "TimeTravelDebugger",

@@ -6,12 +6,17 @@
   (substitute machine-code values, fold, prune) at both the helper-function
   and the fully-inlined granularity.
 * :mod:`inlining` — function inlining of specialised helper bodies.
+* :mod:`peephole` — constant propagation, folding and dead-store
+  elimination over assembled (IR-level) fused loop bodies.
 
-These passes run over the ALU DSL before lowering to the IR.  A second,
-IR-level fusion step exists at opt level 3: the pipeline builder inlines the
-already-optimised ALU bodies into a generated ``run_trace`` loop, pruning
-dead stateless ALUs and hoisting loop-invariant state lookups on the way
-(see :mod:`repro.dgen.pipeline_builder`).
+The first four passes run over the ALU DSL before lowering to the IR.  A
+second, IR-level fusion step exists at opt level 3: the pipeline builder
+inlines the already-optimised ALU bodies into a generated ``run_trace``
+loop, pruning dead stateless ALUs and hoisting loop-invariant state lookups
+on the way (see :mod:`repro.dgen.pipeline_builder`), then runs the peephole
+pass over the fused loop body to fold the constant residue inlining leaves
+behind.  The dRMT fused program generator applies the same peephole pass to
+its loop bodies.
 """
 
 from .constant_propagation import (
@@ -23,8 +28,11 @@ from .constant_propagation import (
 from .dce import eliminate_dead_branches, remove_dead_local_assignments
 from .folding import constant_value, fold_expr, is_constant
 from .inlining import inline_call, max_placeholder_index, placeholder_count
+from .peephole import fold_source, peephole_block
 
 __all__ = [
+    "fold_source",
+    "peephole_block",
     "fold_expr",
     "is_constant",
     "constant_value",

@@ -8,6 +8,7 @@ configuration file.
 """
 
 from .codegen import DrmtProgramBundle, StaticAnalysis, analyze_program, generate_bundle
+from .fused import DrmtFusedProgram, generate_fused, run_to_completion_hazard
 from .processor import MatchActionProcessor, PacketContext, RegisterFile
 from .resources import DEFAULT_HARDWARE, DrmtHardwareParams
 from .scheduler import (
@@ -29,6 +30,9 @@ __all__ = [
     "DEFAULT_HARDWARE",
     "generate_bundle",
     "DrmtProgramBundle",
+    "DrmtFusedProgram",
+    "generate_fused",
+    "run_to_completion_hazard",
     "StaticAnalysis",
     "analyze_program",
     "Schedule",

@@ -17,9 +17,12 @@ analysis summary the simulator needs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 import networkx as nx
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .fused import DrmtFusedProgram
 
 from ..p4.dependency import build_dependency_graph, critical_path, dependency_summary
 from ..p4.parser import parse as parse_p4
@@ -52,6 +55,23 @@ class DrmtProgramBundle:
     schedule: Schedule
     hardware: DrmtHardwareParams
     analysis: StaticAnalysis
+    _fused: Optional["DrmtFusedProgram"] = field(default=None, repr=False, compare=False)
+
+    def fused_program(self) -> "DrmtFusedProgram":
+        """The generated fused program for this bundle (built once, cached).
+
+        dRMT's analogue of the RMT opt-level-3 description: a generated
+        ``run_trace`` loop with every scheduled match/action operation
+        inlined, bit-for-bit faithful to the tick interpreter (see
+        :mod:`repro.drmt.fused`).
+        """
+        if self._fused is None:
+            from .fused import generate_fused
+
+            self._fused = generate_fused(
+                self.program, self.schedule, self.hardware.num_processors
+            )
+        return self._fused
 
     def describe(self) -> str:
         """Human-readable bundle summary (CLI output)."""

@@ -40,6 +40,16 @@ class RegisterFile:
         array = self._get(register)
         return list(array if limit is None else array[:limit])
 
+    def arrays(self) -> Dict[str, List[int]]:
+        """The live register arrays, keyed by name.
+
+        The returned lists are the registers themselves, not copies: the
+        fused and generic dRMT drivers index them directly (with the
+        instance count baked into the generated code), so their mutations
+        are visible to every other consumer of this register file.
+        """
+        return self._arrays
+
     def _get(self, register: str) -> List[int]:
         try:
             return self._arrays[register]

@@ -1,69 +1,28 @@
-"""dRMT traffic generation (paper §4.2).
+"""dRMT traffic generation — compatibility shim.
 
-"The dRMT dsim traffic generator generates packets with randomly initialized
-packet field values based on the fields specified in the P4 file instead of
-PHVs."  Each packet is a dictionary from fully qualified field name to an
-unsigned integer bounded by the field's declared width (capped so Python-side
-values stay manageable).
+The packet generator now lives in :mod:`repro.traffic`, the single module
+serving both execution engines (the RMT PHV generator included); this module
+re-exports the dRMT-facing names so existing imports keep working.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from ..traffic import (
+    MAX_RANDOM_BITS,
+    FieldGenerator,
+    PacketGenerator,
+    choice_field,
+    constant_field,
+    uniform_field,
+    values_field,
+)
 
-from ..errors import SimulationError
-from ..p4.program import P4Program
-
-#: Field widths above this many bits are capped when drawing random values.
-MAX_RANDOM_BITS = 16
-
-
-@dataclass
-class PacketGenerator:
-    """Deterministic random packet generator driven by a P4 program's fields.
-
-    ``field_overrides`` maps a fully qualified field name to a callable
-    ``rng -> value`` so workloads can constrain specific fields (e.g. a small
-    set of destination addresses that actually hit installed table entries).
-    """
-
-    program: P4Program
-    seed: int = 0
-    field_overrides: Dict[str, Callable[[random.Random], int]] = field(default_factory=dict)
-    metadata_default: int = 0
-
-    def generate(self, count: int) -> List[Dict[str, int]]:
-        """Generate ``count`` packets."""
-        if count < 0:
-            raise SimulationError("count must be non-negative")
-        rng = random.Random(self.seed)
-        fields = self.program.all_fields()
-        packets: List[Dict[str, int]] = []
-        for _ in range(count):
-            packet: Dict[str, int] = {}
-            for qualified in fields:
-                override = self.field_overrides.get(qualified)
-                if override is not None:
-                    packet[qualified] = int(override(rng))
-                    continue
-                instance_name = qualified.split(".", 1)[0]
-                instance = self.program.headers[instance_name]
-                if instance.is_metadata:
-                    # Metadata starts at a fixed default (typically 0), like a
-                    # freshly initialised PHV's metadata containers.
-                    packet[qualified] = self.metadata_default
-                    continue
-                width = min(self.program.field_width(qualified), MAX_RANDOM_BITS)
-                packet[qualified] = rng.randint(0, (1 << width) - 1)
-            packets.append(packet)
-        return packets
-
-
-def values_field(values: List[int]) -> Callable[[random.Random], int]:
-    """Field override drawing uniformly from an explicit value set."""
-    if not values:
-        raise SimulationError("values_field needs at least one value")
-    pool = [int(v) for v in values]
-    return lambda rng: rng.choice(pool)
+__all__ = [
+    "MAX_RANDOM_BITS",
+    "FieldGenerator",
+    "PacketGenerator",
+    "values_field",
+    "choice_field",
+    "constant_field",
+    "uniform_field",
+]

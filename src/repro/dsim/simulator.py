@@ -5,60 +5,41 @@ description (from dgen), an input PHV trace (usually from the traffic
 generator), runs the feedforward pipeline, and returns the output trace
 together with the final state vectors.
 
-Two execution modes exist:
+Execution is delegated to the unified engine layer (:mod:`repro.engine`),
+which provides three drivers:
 
-* **tick-accurate** — the paper's §3.3 model: one PHV enters per tick, PHVs
-  in flight advance one stage per tick with read/write-half commits.  Always
-  available; the debugger records from this mode.
-* **fused** — when the description was generated at opt level 3 it carries a
-  generated ``run_trace`` loop, and :meth:`RMTSimulator.run` dispatches to it
-  instead of building a :class:`Pipeline`.  For a feedforward pipeline the
-  two modes are bit-for-bit equivalent (each stage's state is touched in PHV
-  arrival order either way), but the fused mode skips every per-tick
-  allocation, which is most of the runtime at opt level 2.
+* **tick** — the paper's §3.3 model: one PHV enters per tick, PHVs in flight
+  advance one stage per tick with read/write-half commits.  Always
+  available; the debugger records from this driver.  ``tick_accurate=True``
+  forces it.
+* **generic** — a sequential loop over the generated stage functions, one
+  PHV at a time.  Bit-for-bit equivalent to the tick model for a
+  feedforward pipeline and much faster (no per-tick allocation); available
+  at every optimisation level and therefore the default below level 3.
+* **fused** — the generated ``run_trace`` loop carried by descriptions
+  produced at opt level 3, where the simulation driver itself is generated
+  code.  The default whenever available.
+
+The ``engine`` constructor argument pins a driver explicitly (``"tick"``,
+``"generic"``, ``"fused"``) or leaves the choice to the selection rules
+(``"auto"``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from ..dgen.emit import PipelineDescription
+from ..engine.base import (
+    ENGINE_AUTO,
+    ENGINE_GENERIC,
+    ENGINE_TICK,
+    resolve_engine,
+)
+from ..engine.result import SimulationResult
 from ..errors import SimulationError
-from .phv import PHV
-from .pipeline import Pipeline
-from .trace import Trace, TraceRecord
 from .traffic import TrafficGenerator
 
-
-@dataclass
-class SimulationResult:
-    """Everything a simulation run produces.
-
-    Attributes
-    ----------
-    input_trace:
-        The PHV values fed into the pipeline, in input order.
-    output_trace:
-        The output trace: one record per input PHV (same order), plus the
-        final per-stage state vectors.
-    ticks:
-        Number of simulation ticks executed (inputs + pipeline drain).
-    """
-
-    input_trace: List[List[int]]
-    output_trace: Trace
-    ticks: int
-
-    @property
-    def outputs(self) -> List[tuple]:
-        """Output container tuples in input order."""
-        return self.output_trace.outputs()
-
-    @property
-    def final_state(self) -> Optional[List[List[List[int]]]]:
-        """Final state vectors, indexed ``[stage][slot][state_var]``."""
-        return self.output_trace.final_state
+__all__ = ["RMTSimulator", "SimulationResult", "simulate"]
 
 
 class RMTSimulator:
@@ -66,11 +47,13 @@ class RMTSimulator:
 
     def __init__(
         self,
-        description: PipelineDescription,
+        description,
         runtime_values: Optional[Dict[str, int]] = None,
         initial_state: Optional[List[List[List[int]]]] = None,
+        engine: str = ENGINE_AUTO,
     ):
         self.description = description
+        self.engine = engine
         self._runtime_values = runtime_values
         self._initial_state = initial_state
 
@@ -82,33 +65,30 @@ class RMTSimulator:
     ) -> SimulationResult:
         """Simulate the pipeline on an explicit input trace.
 
-        Dispatches to the description's fused ``run_trace`` entry point when
-        one exists (opt level 3); pass ``tick_accurate=True`` to force the
-        per-tick model (used by the fused-vs-tick equivalence tests).
+        The driver follows the engine layer's selection rules: ``auto``
+        dispatches to the description's fused ``run_trace`` entry point when
+        one exists (opt level 3) and to the generic sequential driver
+        otherwise; pass ``tick_accurate=True`` to force the per-tick model
+        (used by the fused-vs-tick equivalence tests and the debugger).
         """
-        fused = None if tick_accurate else self.description.fused_function
-        if fused is not None:
-            return self._run_fused(fused, phv_values)
-        pipeline = Pipeline(
-            self.description,
-            runtime_values=self._runtime_values,
-            initial_state=self._initial_state_copy(),
-        )
-        inputs = [list(values) for values in phv_values]
-        exited: List[PHV] = pipeline.process(inputs)
-        if len(exited) != len(inputs):
-            raise SimulationError(
-                f"pipeline emitted {len(exited)} PHVs for {len(inputs)} inputs"
-            )
+        from ..engine import rmt as drivers
 
-        trace = Trace()
-        for phv, input_values in zip(exited, inputs):
-            trace.append(phv.phv_id, input_values, phv.snapshot())
-        trace.final_state = pipeline.state_snapshot()
-        return SimulationResult(
-            input_trace=inputs,
-            output_trace=trace,
-            ticks=pipeline.current_tick,
+        mode = resolve_engine(
+            self.engine,
+            fused_available=self.description.fused_function is not None,
+            tick_accurate=tick_accurate,
+            context="pipeline description",
+        )
+        if mode == ENGINE_TICK:
+            return drivers.run_tick(
+                self.description, phv_values, self._runtime_values, self._initial_state_copy()
+            )
+        if mode == ENGINE_GENERIC:
+            return drivers.run_generic(
+                self.description, phv_values, self._runtime_values, self._initial_state_copy()
+            )
+        return drivers.run_fused(
+            self.description, phv_values, self._runtime_values, self._initial_state_copy()
         )
 
     def run_traffic(self, generator: TrafficGenerator, count: int) -> SimulationResult:
@@ -123,39 +103,6 @@ class RMTSimulator:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _run_fused(
-        self, fused: Callable, phv_values: Sequence[Sequence[int]]
-    ) -> SimulationResult:
-        """Fast path: hand the whole input trace to the generated trace loop."""
-        width = self.description.spec.width
-        inputs: List[List[int]] = [list(values) for values in phv_values]
-        if set(map(len, inputs)) - {width}:
-            index, values = next(
-                (i, v) for i, v in enumerate(inputs) if len(v) != width
-            )
-            raise SimulationError(
-                f"PHV {index} has {len(values)} containers, pipeline width is {width}"
-            )
-        work: List[List[int]] = [list(map(int, values)) for values in inputs]
-
-        state = self._initial_state_copy()
-        if state is None:
-            state = self.description.initial_state()
-        runtime_values = self._runtime_values
-        if runtime_values is None:
-            runtime_values = self.description.runtime_values()
-
-        outputs = fused(work, state, runtime_values)
-
-        trace = Trace()
-        trace.records = list(
-            map(TraceRecord, range(len(inputs)), map(tuple, inputs), map(tuple, outputs))
-        )
-        trace.final_state = state
-        # The tick model runs one tick per input plus ``depth`` drain ticks.
-        ticks = len(inputs) + self.description.spec.depth if inputs else 0
-        return SimulationResult(input_trace=inputs, output_trace=trace, ticks=ticks)
-
     def _initial_state_copy(self) -> Optional[List[List[List[int]]]]:
         if self._initial_state is None:
             return None
@@ -163,15 +110,17 @@ class RMTSimulator:
 
 
 def simulate(
-    description: PipelineDescription,
+    description,
     phv_values: Sequence[Sequence[int]],
     runtime_values: Optional[Dict[str, int]] = None,
     initial_state: Optional[List[List[List[int]]]] = None,
+    engine: str = ENGINE_AUTO,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`RMTSimulator`."""
     simulator = RMTSimulator(
         description,
         runtime_values=runtime_values,
         initial_state=initial_state,
+        engine=engine,
     )
     return simulator.run(phv_values)

@@ -1,106 +1,27 @@
-"""Traffic generation for RMT simulation.
+"""Traffic generation for RMT simulation — compatibility shim.
 
-"The traffic generator creates a sequence of PHVs where every PHV consists of
-random unsigned integers" (paper §3.3).  The generator here is seeded and
-therefore reproducible; the default value range is 10 bits wide because the
-paper's case study (§5.2) fuzzes with 10-bit inputs.
+The PHV traffic generator now lives in :mod:`repro.traffic`, the single
+module serving both execution engines (the dRMT packet generator included);
+this module re-exports the RMT-facing names so existing imports keep
+working.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Sequence
+from ..traffic import (
+    DEFAULT_MAX_VALUE,
+    FieldGenerator,
+    TrafficGenerator,
+    choice_field,
+    constant_field,
+    uniform_field,
+)
 
-from ..errors import SimulationError
-
-#: Default maximum container value: 10-bit unsigned integers (paper §5.2).
-DEFAULT_MAX_VALUE = (1 << 10) - 1
-
-
-@dataclass
-class TrafficGenerator:
-    """Deterministic random PHV generator.
-
-    Parameters
-    ----------
-    num_containers:
-        Containers per PHV (the pipeline width).
-    seed:
-        PRNG seed; two generators built with the same parameters produce the
-        same sequence, which the fuzzing workflow relies on to replay
-        counterexamples.
-    min_value, max_value:
-        Inclusive bounds of the uniform distribution each container value is
-        drawn from.
-    field_generators:
-        Optional per-container override: a callable taking the PRNG and
-        returning the value for that container.  Used by the benchmark
-        programs to generate realistic field distributions (e.g. a small set
-        of flow identifiers for the flowlet workload).
-    """
-
-    num_containers: int
-    seed: int = 0
-    min_value: int = 0
-    max_value: int = DEFAULT_MAX_VALUE
-    field_generators: Optional[Sequence[Optional[Callable[[random.Random], int]]]] = None
-
-    def __post_init__(self) -> None:
-        if self.num_containers < 1:
-            raise SimulationError("traffic generator needs at least one container")
-        if self.min_value > self.max_value:
-            raise SimulationError(
-                f"invalid value range [{self.min_value}, {self.max_value}]"
-            )
-        if self.field_generators is not None and len(self.field_generators) != self.num_containers:
-            raise SimulationError(
-                "field_generators must provide one entry (or None) per container"
-            )
-
-    def generate(self, count: int) -> List[List[int]]:
-        """Generate ``count`` PHVs worth of container values."""
-        return list(self.iter_phvs(count))
-
-    def iter_phvs(self, count: int) -> Iterator[List[int]]:
-        """Yield ``count`` PHVs lazily (useful for very long simulations)."""
-        if count < 0:
-            raise SimulationError("count must be non-negative")
-        rng = random.Random(self.seed)
-        for _ in range(count):
-            yield self._one_phv(rng)
-
-    def _one_phv(self, rng: random.Random) -> List[int]:
-        values: List[int] = []
-        for container in range(self.num_containers):
-            generator = None
-            if self.field_generators is not None:
-                generator = self.field_generators[container]
-            if generator is not None:
-                values.append(int(generator(rng)))
-            else:
-                values.append(rng.randint(self.min_value, self.max_value))
-        return values
-
-
-def uniform_field(low: int, high: int) -> Callable[[random.Random], int]:
-    """Field generator drawing uniformly from ``[low, high]``."""
-    return lambda rng: rng.randint(low, high)
-
-
-def choice_field(choices: Sequence[int]) -> Callable[[random.Random], int]:
-    """Field generator drawing uniformly from an explicit set of values.
-
-    Handy for fields such as flow identifiers or ports where a workload only
-    exercises a small population (e.g. the stateful-firewall and flowlet
-    benchmarks).
-    """
-    values = [int(choice) for choice in choices]
-    if not values:
-        raise SimulationError("choice_field needs at least one choice")
-    return lambda rng: rng.choice(values)
-
-
-def constant_field(value: int) -> Callable[[random.Random], int]:
-    """Field generator always returning ``value`` (e.g. a fixed protocol number)."""
-    return lambda rng: int(value)
+__all__ = [
+    "DEFAULT_MAX_VALUE",
+    "FieldGenerator",
+    "TrafficGenerator",
+    "uniform_field",
+    "choice_field",
+    "constant_field",
+]

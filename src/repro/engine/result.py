@@ -1,0 +1,83 @@
+"""The unified simulation result shared by every RMT-side driver.
+
+Every driver of a compiled pipeline description — tick, generic and fused,
+whether dispatched by :class:`repro.dsim.RMTSimulator` or by the dRMT-style
+:class:`repro.engine.rtc.RunToCompletionSimulator` — returns the same
+:class:`SimulationResult`, so downstream consumers (equivalence checking,
+fuzzing, benchmarks, the CLI) never care which driver ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..dsim.trace import Trace, TraceRecord
+from ..errors import SimulationError
+
+
+@dataclass
+class SimulationResult:
+    """Everything a simulation run produces.
+
+    Attributes
+    ----------
+    input_trace:
+        The PHV values fed into the pipeline, in input order.
+    output_trace:
+        The output trace: one record per input PHV (same order), plus the
+        final per-stage state vectors.
+    ticks:
+        Number of simulation ticks executed (inputs + pipeline drain).
+    engine:
+        Name of the driver that produced this result (``tick``, ``generic``
+        or ``fused``, optionally qualified by the simulator facade).
+    """
+
+    input_trace: List[List[int]]
+    output_trace: Trace
+    ticks: int
+    engine: str = "tick"
+
+    @property
+    def outputs(self) -> List[tuple]:
+        """Output container tuples in input order."""
+        return self.output_trace.outputs()
+
+    @property
+    def final_state(self) -> Optional[List[List[List[int]]]]:
+        """Final state vectors, indexed ``[stage][slot][state_var]``."""
+        return self.output_trace.final_state
+
+
+def validate_widths(inputs: Sequence[Sequence[int]], width: int) -> None:
+    """Raise :class:`SimulationError` when any PHV has the wrong width."""
+    for index, values in enumerate(inputs):
+        if len(values) != width:
+            raise SimulationError(
+                f"PHV {index} has {len(values)} containers, pipeline width is {width}"
+            )
+
+
+def sequential_result(
+    inputs: List[List[int]],
+    outputs: Sequence[Sequence[int]],
+    final_state: List[List[List[int]]],
+    depth: int,
+    engine: str,
+) -> SimulationResult:
+    """Assemble a :class:`SimulationResult` for a sequential (non-tick) driver.
+
+    The tick model runs one tick per input plus ``depth`` drain ticks; the
+    sequential drivers do no ticking of their own but report the equivalent
+    count so results stay comparable across drivers.
+    """
+    trace = Trace()
+    trace.records = list(
+        map(TraceRecord, range(len(inputs)), map(tuple, inputs), map(tuple, outputs))
+    )
+    trace.final_state = final_state
+    ticks = len(inputs) + depth if inputs else 0
+    return SimulationResult(
+        input_trace=inputs, output_trace=trace, ticks=ticks, engine=engine
+    )

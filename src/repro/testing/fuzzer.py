@@ -45,6 +45,10 @@ class FuzzConfig:
     max_value: int = DEFAULT_MAX_VALUE
     small_max_value: int = 100
     opt_level: int = dgen.OPT_SCC_INLINE
+    #: Execution engine for the simulation leg ("auto" picks the fastest
+    #: available driver: fused at opt level 3, the generic sequential driver
+    #: otherwise; "tick" forces the paper's per-tick model).
+    engine: str = "auto"
 
 
 class FuzzTester:
@@ -159,7 +163,9 @@ class FuzzTester:
 
         traffic = self._make_traffic(max_value, seed)
         inputs = traffic.generate(config.num_phvs)
-        simulator = RMTSimulator(description, initial_state=self._copy_initial_state())
+        simulator = RMTSimulator(
+            description, initial_state=self._copy_initial_state(), engine=config.engine
+        )
         try:
             result = simulator.run(inputs)
         except MissingMachineCodeError as error:

@@ -97,3 +97,53 @@ class TestDrmtCli:
             ["--p4", str(p4_path), "--entries", str(entries_path), "--packets", "5"]
         ) == 0
         assert "telemetry" in capsys.readouterr().out.lower() or True
+
+
+class TestEngineFlags:
+    def test_dsim_engine_flag(self, capsys):
+        for engine, expected in (("tick", "engine: tick"), ("generic", "engine: generic")):
+            assert dsim_main(
+                ["--depth", "1", "--width", "1", "--phvs", "5", "--engine", engine]
+            ) == 0
+            captured = capsys.readouterr()
+            assert expected in captured.err
+
+    def test_dsim_fused_engine_needs_level3(self, capsys):
+        assert dsim_main(
+            ["--depth", "1", "--width", "1", "--phvs", "5",
+             "--opt-level", "2", "--engine", "fused"]
+        ) == 1
+        assert "fused" in capsys.readouterr().err
+
+    def test_dsim_opt_level3_reports_fused(self, capsys):
+        assert dsim_main(
+            ["--depth", "1", "--width", "1", "--phvs", "5", "--opt-level", "3"]
+        ) == 0
+        assert "engine: fused" in capsys.readouterr().err
+
+    def test_dsim_engine_choice_is_identical(self, capsys):
+        outputs = {}
+        for engine in ("tick", "generic"):
+            assert dsim_main(
+                ["--depth", "2", "--width", "2", "--phvs", "12", "--engine", engine]
+            ) == 0
+            outputs[engine] = capsys.readouterr().out
+        assert outputs["tick"] == outputs["generic"]
+
+    def test_fuzz_engine_flag(self, capsys):
+        assert fuzz_main(
+            ["--program", "sampling", "--phvs", "60", "--engine", "tick"]
+        ) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_drmt_engine_flag(self, capsys):
+        for engine in ("tick", "fused"):
+            assert drmt_main(["--packets", "12", "--engine", engine]) == 0
+            out = capsys.readouterr().out
+            assert f"({engine} engine)" in out
+
+    def test_drmt_dump_fused(self, capsys):
+        assert drmt_main(["--dump-fused"]) == 0
+        out = capsys.readouterr().out
+        assert "def run_trace(" in out
+        assert "VISIT_ORDERS" in out

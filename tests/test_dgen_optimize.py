@@ -272,3 +272,208 @@ class TestInlining:
         )
         code = inline_call(template, ["2 + 3", "4"])
         assert eval(code) == 9  # noqa: S307 - controlled generated code
+
+
+class TestPeephole:
+    """The IR-level constant-propagation/peephole pass over fused loop bodies."""
+
+    def _exec_block(self, statements, env):
+        from repro.ir import Module, to_source
+        from repro.ir import nodes as ir
+
+        module = Module(functions=[ir.FunctionDef(name="f", params=list(env), body=list(statements) + [ir.Return("0")])])
+        namespace = {}
+        exec(to_source(module), namespace)  # noqa: S102 - controlled generated code
+        return namespace["f"]
+
+    def test_fold_source_literals(self):
+        from repro.dgen.optimize import fold_source
+
+        assert fold_source("1 + 2 * 3") == ("7", 7)
+        assert fold_source("int(bool(1) and bool(0))") == ("0", 0)
+        source, value = fold_source("x + 0 * 5", {})
+        assert value is None and "x" in source
+
+    def test_fold_source_substitutes_environment(self):
+        from repro.dgen.optimize import fold_source
+
+        source, value = fold_source("int(bool(c) and bool(1))", {"c": 1})
+        assert value == 1
+        source, value = fold_source("a + b", {"a": 2, "b": 3})
+        assert (source, value) == ("5", 5)
+
+    def test_fold_source_keeps_division_by_zero_unfolded(self):
+        from repro.dgen.optimize import fold_source
+
+        source, value = fold_source("1 // 0")
+        assert value is None
+        assert "//" in source
+
+    def test_condition_wrappers_stripped(self):
+        from repro.dgen.optimize import fold_source
+
+        source, _ = fold_source("int(bool(x) and bool(y))", condition=True)
+        assert source == "x and y"
+
+    def test_constant_propagation_through_straight_line_code(self):
+        from repro.dgen.optimize import peephole_block
+        from repro.ir import nodes as ir
+
+        block = peephole_block(
+            [
+                ir.Assign("condition_1", "1"),
+                ir.Assign("out", "int(bool(cond) and bool(condition_1))"),
+                ir.ExprStmt("sink(out)"),
+            ]
+        )
+        rendered = [(s.target, s.expression) for s in block if isinstance(s, ir.Assign)]
+        # condition_1 was substituted and its store eliminated.
+        assert rendered == [("out", "int(bool(cond))")]
+
+    def test_dead_branches_pruned_and_decided_branches_inlined(self):
+        from repro.dgen.optimize import peephole_block
+        from repro.ir import nodes as ir
+
+        block = peephole_block(
+            [
+                ir.Assign("flag", "0"),
+                ir.If(
+                    branches=[("flag", [ir.Assign("state[0]", "1")])],
+                    orelse=[ir.Assign("state[0]", "2")],
+                ),
+            ]
+        )
+        assert not any(isinstance(s, ir.If) for s in block)
+        stores = [s for s in block if isinstance(s, ir.Assign) and s.target == "state[0]"]
+        assert [s.expression for s in stores] == ["2"]
+
+    def test_identical_branches_collapse(self):
+        from repro.dgen.optimize import peephole_block
+        from repro.ir import nodes as ir
+
+        body = [ir.Assign("state[0]", "state[0] + pkt")]
+        block = peephole_block(
+            [ir.If(branches=[("pkt > threshold", list(body))], orelse=list(body))]
+        )
+        assert not any(isinstance(s, ir.If) for s in block)
+        assert any(
+            isinstance(s, ir.Assign) and s.target == "state[0]" for s in block
+        )
+
+    def test_self_assignments_removed(self):
+        from repro.dgen.optimize import peephole_block
+        from repro.ir import nodes as ir
+
+        block = peephole_block(
+            [
+                ir.If(
+                    branches=[("cond", [ir.Assign("state[0]", "pkt")])],
+                    orelse=[ir.Assign("state[0]", "state[0]")],
+                ),
+                ir.ExprStmt("sink(state)"),
+            ]
+        )
+        statement = next(s for s in block if isinstance(s, ir.If))
+        assert statement.orelse == []
+
+    def test_redundant_loads_deduplicated_but_invalidated_by_writes(self):
+        from repro.dgen.optimize import peephole_block
+        from repro.ir import nodes as ir
+
+        block = peephole_block(
+            [
+                ir.Assign("pkt_0", "phv[0]"),
+                ir.Assign("state[0]", "state[0] + pkt_0"),
+                ir.Assign("pkt_0", "phv[0]"),  # redundant: dropped
+                ir.Assign("state[1]", "state[1] + pkt_0"),
+                ir.Assign("phv", "[pkt_0, 2]"),
+                ir.Assign("pkt_0", "phv[0]"),  # phv changed: kept
+                ir.ExprStmt("sink(pkt_0, phv)"),
+            ]
+        )
+        loads = [
+            s
+            for s in block
+            if isinstance(s, ir.Assign) and s.target == "pkt_0" and s.expression == "phv[0]"
+        ]
+        assert len(loads) == 2
+
+    def test_mutating_call_invalidates_copies(self):
+        from repro.dgen.optimize import peephole_block
+        from repro.ir import nodes as ir
+
+        block = peephole_block(
+            [
+                ir.Assign("cached", "state_0[0]"),
+                ir.ExprStmt("first_sink(cached)"),
+                ir.ExprStmt("stage_fn(phv, state_0, values)"),
+                ir.Assign("cached", "state_0[0]"),  # must be reloaded: kept
+                ir.ExprStmt("sink(cached)"),
+            ]
+        )
+        loads = [
+            s for s in block if isinstance(s, ir.Assign) and s.target == "cached"
+        ]
+        assert len(loads) == 2
+
+    def test_loop_carried_reads_keep_stores_alive(self):
+        from repro.dgen.optimize import peephole_block
+        from repro.ir import nodes as ir
+
+        # ``total`` is read at the top of the body before being stored: the
+        # store feeds the next iteration and must survive.
+        block = peephole_block(
+            [
+                ir.Assign("state[0]", "state[0] + total"),
+                ir.Assign("total", "phv[0]"),
+            ]
+        )
+        assert any(
+            isinstance(s, ir.Assign) and s.target == "total" for s in block
+        )
+
+    def test_dead_stores_without_readers_removed(self):
+        from repro.dgen.optimize import peephole_block
+        from repro.ir import nodes as ir
+
+        block = peephole_block(
+            [
+                ir.Assign("condition_0", "int(state[0] == pkt)"),
+                ir.Assign("state[0]", "state[0] + pkt"),
+            ]
+        )
+        assert not any(
+            isinstance(s, ir.Assign) and s.target == "condition_0" for s in block
+        )
+
+    def test_peephole_preserves_behaviour(self):
+        from repro.dgen.optimize import peephole_block
+        from repro.ir import nodes as ir
+
+        statements = [
+            ir.Assign("condition_1", "1"),
+            ir.Assign("choice", "state[0] if int(bool(pkt > 3) and bool(condition_1)) else pkt"),
+            ir.If(
+                branches=[("int(bool(condition_1))", [ir.Assign("state[0]", "state[0] + choice")])],
+                orelse=[ir.Assign("state[0]", "state[0]")],
+            ),
+            ir.Assign("out", "choice"),
+            ir.Return("(out, state)"),
+        ]
+        optimized = peephole_block(list(statements))
+
+        def outcome(block):
+            from repro.ir import Module, to_source
+            from repro.ir import nodes as irn
+
+            module = Module(
+                functions=[
+                    irn.FunctionDef(name="f", params=["pkt", "state"], body=list(block))
+                ]
+            )
+            namespace = {}
+            exec(to_source(module), namespace)  # noqa: S102
+            return namespace["f"]
+
+        for pkt in (0, 3, 4, 10):
+            assert outcome(statements)(pkt, [5]) == outcome(optimized)(pkt, [5])
