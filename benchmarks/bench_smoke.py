@@ -2,8 +2,9 @@
 
 Runs every Table-1 benchmark program at every dgen optimisation level and
 writes per-(program, level) throughput (PHVs/sec) to a JSON file —
-``BENCH_PR2.json`` by default, extending the trajectory started by
-``BENCH_PR1.json``.  Two headline ratios are reported per program:
+``BENCH_PR3.json`` by default, extending the trajectory started by
+``BENCH_PR1.json``/``BENCH_PR2.json``.  Two headline ratios are reported per
+program:
 
 * ``fused vs tick`` — the generated ``run_trace`` loop (opt level 3, with
   the peephole pass) against the paper's tick-accurate interpreter driving
@@ -14,12 +15,20 @@ writes per-(program, level) throughput (PHVs/sec) to a JSON file —
   3), i.e. the remaining win of generating the driver itself.
 
 Since PR 2 the sweep also covers the dRMT engine: packets/sec for the
-bundled P4 programs under the tick, generic and fused drivers.
+bundled P4 programs under the tick, generic and fused drivers (the fused
+cells run the dict-specialised exact-match lookup since PR 3).
+
+Since PR 3 the sweep adds the *sharded* 1M-PHV cell: the flow-counters
+workload (per-flow state, flow id in container 0) once under the generic
+driver, once under the single-threaded fused loop, and once under the
+sharded meta-driver with 4 shards across a worker pool — the scaling
+headline for >1M-PHV traces.  ``--sharded-phvs 0`` skips it.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_smoke.py [--phvs 3000] [--rounds 3]
-        [--programs sampling,conga] [--output BENCH_PR2.json]
+        [--programs sampling,conga] [--sharded-phvs 1000000]
+        [--output BENCH_PR3.json]
 
 ``--rounds`` defaults to the ``DRUZHBA_BENCH_ROUNDS`` environment variable
 (default 1); each cell keeps the best of that many rounds.  A pytest-marked
@@ -44,6 +53,7 @@ from repro.drmt.traffic import PacketGenerator
 from repro.dsim import RMTSimulator
 from repro.p4 import samples
 from repro.programs import TABLE1_ORDER, get_program
+from repro.programs.variants import make_flow_counters_variant
 
 #: Levels swept, in ladder order.
 LEVELS: Dict[int, str] = {level: dgen.OPT_LEVEL_NAMES[level] for level in dgen.OPT_LEVELS}
@@ -125,6 +135,64 @@ def measure_drmt_cell(name: str, engine: str, packets: int, rounds: int) -> Dict
     return {"seconds": best, "packets_per_sec": packets / best}
 
 
+#: The sharded cell's workload: per-flow accumulators, flow id in container 0.
+SHARDED_FLOWS = 8
+SHARDED_SHARDS = 4
+SHARDED_ENGINES = ("generic", "fused", "sharded")
+
+
+def measure_sharded_cells(
+    phvs: int, rounds: int, workers: int = 4, shards: int = SHARDED_SHARDS
+) -> Dict[str, object]:
+    """The >1M-PHV scaling cell: generic vs fused vs sharded on one workload.
+
+    The flow-counters program keeps one accumulator per flow (state cells
+    flow-owned by construction), so hash-partitioning the trace on the flow
+    container is bit-for-bit safe and the sharded meta-driver can fan the
+    shards across a process pool.  ``workers`` caps the pool; the recorded
+    ``cpu_count`` tells readers how much parallelism the machine offered.
+    """
+    program = make_flow_counters_variant(SHARDED_FLOWS)
+    description = dgen.generate(
+        program.pipeline_spec(), program.machine_code(), opt_level=dgen.OPT_FUSED
+    )
+    inputs = program.traffic_generator(seed=42).generate(phvs)
+    simulators = {
+        "generic": RMTSimulator(description, engine="generic"),
+        "fused": RMTSimulator(description, engine="fused"),
+        "sharded": RMTSimulator(
+            description,
+            engine="sharded",
+            shards=shards,
+            workers=workers,
+            shard_key=[0],
+        ),
+    }
+    cells: Dict[str, Dict[str, float]] = {}
+    for label, simulator in simulators.items():
+        engine_seen = None
+
+        def run():
+            nonlocal engine_seen
+            result = simulator.run(inputs)
+            assert len(result.output_trace) == phvs
+            engine_seen = result.engine
+
+        best = _best_of(rounds, run)
+        cells[label] = {"seconds": best, "phvs_per_sec": phvs / best, "engine": engine_seen}
+    return {
+        "program": program.name,
+        "phvs": phvs,
+        "flows": SHARDED_FLOWS,
+        "shards": shards,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "cells": cells,
+        "speedup_sharded_vs_fused": cells["fused"]["seconds"] / cells["sharded"]["seconds"],
+        "speedup_sharded_vs_generic": cells["generic"]["seconds"] / cells["sharded"]["seconds"],
+    }
+
+
 def _ratios(programs: Dict[str, Dict[str, Dict[str, float]]], baseline: str) -> dict:
     if not programs:
         return {"per_program": {}, "geomean": 1.0, "aggregate": 1.0}
@@ -150,11 +218,14 @@ def run_sweep(
     program_names: Optional[Sequence[str]] = None,
     drmt_packets: int = 2000,
     drmt_names: Optional[Sequence[str]] = None,
+    sharded_phvs: int = 0,
+    sharded_workers: int = 4,
 ) -> dict:
     """Sweep programs × levels (plus the dRMT engines) and assemble the record.
 
     ``program_names``/``drmt_names`` default (``None``) to the full program
     sets; pass an explicit empty list to skip that side of the sweep.
+    ``sharded_phvs`` > 0 adds the sharded scaling cell at that trace length.
     """
     names: List[str] = (
         list(program_names) if program_names is not None else list(TABLE1_ORDER)
@@ -180,7 +251,7 @@ def run_sweep(
 
     record = {
         "benchmark": "table1_smoke",
-        "pr": 2,
+        "pr": 3,
         "phvs_per_program": phvs,
         "rounds": rounds,
         "levels": list(LEVELS.values()) + [TICK_BASELINE],
@@ -202,6 +273,10 @@ def run_sweep(
             name: cells["tick"]["seconds"] / cells["generic"]["seconds"]
             for name, cells in drmt.items()
         }
+    if sharded_phvs > 0:
+        record["sharded"] = measure_sharded_cells(
+            sharded_phvs, rounds, workers=sharded_workers
+        )
     return record
 
 
@@ -250,6 +325,21 @@ def format_table(record: dict) -> str:
             )
             ratio = drmt["speedup_fused_vs_tick"][name]
             lines.append(f"  {name:20s} {rates}fused/tick {ratio:.2f}x")
+    sharded = record.get("sharded")
+    if sharded:
+        lines.append(
+            f"sharded scaling cell ({sharded['program']}, {sharded['phvs']} PHVs, "
+            f"{sharded['shards']} shards, {sharded['workers']} workers, "
+            f"{sharded['cpu_count']} cores):"
+        )
+        rates = "".join(
+            f"{engine} {sharded['cells'][engine]['phvs_per_sec']:>9.0f}/s  "
+            for engine in SHARDED_ENGINES
+        )
+        lines.append(
+            f"  {rates}sharded/fused {sharded['speedup_sharded_vs_fused']:.2f}x, "
+            f"sharded/generic {sharded['speedup_sharded_vs_generic']:.2f}x"
+        )
     return "\n".join(lines)
 
 
@@ -269,11 +359,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--drmt-packets", type=int, default=2000, help="packets per dRMT program"
     )
-    parser.add_argument("--output", default="BENCH_PR2.json", help="output JSON path")
+    parser.add_argument(
+        "--sharded-phvs", type=int, default=1_000_000,
+        help="trace length for the sharded scaling cell (0 skips it)",
+    )
+    parser.add_argument(
+        "--sharded-workers", type=int, default=4,
+        help="worker processes for the sharded scaling cell",
+    )
+    parser.add_argument("--output", default="BENCH_PR3.json", help="output JSON path")
     args = parser.parse_args(argv)
 
     names = args.programs.split(",") if args.programs else None
-    record = run_sweep(args.phvs, args.rounds, names, drmt_packets=args.drmt_packets)
+    record = run_sweep(
+        args.phvs,
+        args.rounds,
+        names,
+        drmt_packets=args.drmt_packets,
+        sharded_phvs=args.sharded_phvs,
+        sharded_workers=args.sharded_workers,
+    )
     Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
     print(format_table(record))
     print(f"wrote {args.output}")

@@ -22,7 +22,7 @@ from .alu_dsl import grammar, parse_and_analyze
 from .dsim import RMTSimulator, TrafficGenerator
 from .drmt import DRMTSimulator, DrmtHardwareParams, generate_bundle
 from .engine.base import ENGINE_CHOICES
-from .errors import DruzhbaError
+from .errors import DruzhbaError, SimulationError
 from .hardware import PipelineSpec, describe_pipeline
 from .machine_code import MachineCode
 from .programs import all_programs, get_program, program_names
@@ -122,7 +122,24 @@ def dsim_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--engine", default="auto", choices=ENGINE_CHOICES,
         help="execution driver (auto = fused when available, else the generic "
-             "sequential driver; tick = the paper's per-tick model)",
+             "sequential driver; tick = the paper's per-tick model; sharded = "
+             "partition the trace per flow and run the shards in parallel — "
+             "see --shards/--workers/--shard-key)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count for the sharded engine (default 4); with --engine auto, "
+             "setting this enables sharding for large traces",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the sharded engine (default: min(shards, cores))",
+    )
+    parser.add_argument(
+        "--shard-key",
+        help="comma-separated PHV container indices identifying a flow (the "
+             "state-indexing fields); omit for contiguous blocks, which the "
+             "state-conflict check only admits for state-free workloads",
     )
     args = parser.parse_args(argv)
 
@@ -136,7 +153,23 @@ def dsim_main(argv: Optional[List[str]] = None) -> int:
         traffic = TrafficGenerator(
             num_containers=spec.width, seed=args.seed, max_value=args.max_value
         )
-        result = RMTSimulator(description, engine=args.engine).run_traffic(traffic, args.phvs)
+        shard_key = None
+        if args.shard_key:
+            try:
+                shard_key = [int(container) for container in args.shard_key.split(",")]
+            except ValueError:
+                raise SimulationError(
+                    "--shard-key takes comma-separated PHV container indices, "
+                    f"got {args.shard_key!r}"
+                ) from None
+        simulator = RMTSimulator(
+            description,
+            engine=args.engine,
+            shards=args.shards,
+            workers=args.workers,
+            shard_key=shard_key,
+        )
+        result = simulator.run_traffic(traffic, args.phvs)
     except DruzhbaError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -225,7 +258,21 @@ def drmt_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--engine", default="auto", choices=ENGINE_CHOICES,
         help="execution driver (auto = the generated fused run_trace when it builds, "
-             "tick = the paper's per-tick processor loop)",
+             "tick = the paper's per-tick processor loop; sharded = partition the "
+             "packet trace per flow and run the shards in parallel)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count for the sharded engine (default 4)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the sharded engine (default: min(shards, cores))",
+    )
+    parser.add_argument(
+        "--shard-key",
+        help="comma-separated packet field names identifying a flow; defaults to "
+             "the fields the program's register accesses index by",
     )
     parser.add_argument(
         "--dump-fused", action="store_true",
@@ -257,7 +304,15 @@ def drmt_main(argv: Optional[List[str]] = None) -> int:
             return 0
         print(bundle.describe())
         print(bundle.schedule.describe())
-        simulator = DRMTSimulator(bundle, table_entries=entries, engine=args.engine)
+        shard_key = args.shard_key.split(",") if args.shard_key else None
+        simulator = DRMTSimulator(
+            bundle,
+            table_entries=entries,
+            engine=args.engine,
+            shards=args.shards,
+            workers=args.workers,
+            shard_key=shard_key,
+        )
         result = simulator.run_traffic(args.packets, seed=args.seed)
     except DruzhbaError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -21,6 +21,15 @@ walks ticks executing the inlined per-cycle segments in precisely the
 interpreter's interleaving — shared registers observe the identical sequence
 of reads and writes.
 
+Tables whose every read uses the exact match kind are *dict-specialised*:
+instead of hoisting the shared :meth:`MatchActionTable.lookup` (a linear
+scan over the entries), the generated prologue builds the table's
+:meth:`~repro.drmt.tables.MatchActionTable.exact_index` once per trace and
+each match becomes a single dict probe, with hit/miss counts accumulated in
+locals and folded back into the table's counters on exit — so the inner
+loop is no longer scan-bound while the observable statistics stay identical
+to the interpreter's.  Ternary and LPM tables keep the scan.
+
 A second entry point, ``run_trace_observed``, additionally calls
 ``observer(packet_id, processor, tick, fields)`` after every (packet,
 cycle-segment) execution: the per-processor snapshot hook that lets
@@ -198,9 +207,21 @@ class DrmtFusedGenerator:
                 ir.If(branches=[("n == 0", [ir.Return("dropped")])], orelse=[])
             )
             body.append(ir.Comment("hoist table lookups, match results and register arrays"))
+            exact_tables: List[str] = []
             for table_name in self.program.table_order():
                 safe = _ident(table_name)
-                body.append(ir.Assign(f"lookup_{safe}", f"tables[{table_name!r}].lookup"))
+                if self._is_exact(table_name):
+                    # All-exact tables specialise into one dict probe per
+                    # match: build the index once per trace, count hits and
+                    # misses locally, and fold them back into the table's
+                    # counters on exit (identical totals to the linear scan).
+                    exact_tables.append(table_name)
+                    body.append(ir.Assign(f"table_{safe}", f"tables[{table_name!r}]"))
+                    body.append(ir.Assign(f"index_{safe}", f"table_{safe}.exact_index()"))
+                    body.append(ir.Assign(f"hits_{safe}", "0"))
+                    body.append(ir.Assign(f"misses_{safe}", "0"))
+                else:
+                    body.append(ir.Assign(f"lookup_{safe}", f"tables[{table_name!r}].lookup"))
                 body.append(ir.Assign(f"matched_{safe}", "[None] * n"))
             for register_name in self.program.registers:
                 body.append(
@@ -209,6 +230,16 @@ class DrmtFusedGenerator:
             loop_body = self._tick_loop_body(segments, observed)
             tick_loop = ir.For("t", "range(n + MAKESPAN - 1)", peephole_block(loop_body))
             body.append(tick_loop)
+            for table_name in exact_tables:
+                safe = _ident(table_name)
+                body.append(
+                    ir.Assign(f"table_{safe}.hit_count", f"table_{safe}.hit_count + hits_{safe}")
+                )
+                body.append(
+                    ir.Assign(
+                        f"table_{safe}.miss_count", f"table_{safe}.miss_count + misses_{safe}"
+                    )
+                )
         body.append(ir.Return("dropped"))
         params = ["packets", "tables", "registers"]
         if observed:
@@ -299,15 +330,35 @@ class DrmtFusedGenerator:
                 drop_possible = True
         return stmts
 
+    def _is_exact(self, table_name: str) -> bool:
+        """True when the table definition admits the dict specialisation."""
+        return self.program.tables[table_name].is_exact
+
     def _match_stmts(self, table_name: str) -> List[ir.IRStmt]:
         safe = _ident(table_name)
-        lookup = ir.Assign(f"matched_{safe}[p]", f"lookup_{safe}(fields)")
+        if self._is_exact(table_name):
+            match_fields = self.program.tables[table_name].match_fields()
+            key = (
+                "(" + ", ".join(f"fields.get({field!r}, 0)" for field in match_fields) + ",)"
+                if match_fields
+                else "()"
+            )
+            lookup_stmts: List[ir.IRStmt] = [
+                ir.Assign("_entry", f"index_{safe}.get({key})"),
+                ir.Assign(f"matched_{safe}[p]", "_entry"),
+                ir.If(
+                    branches=[("_entry is None", [ir.Assign(f"misses_{safe}", f"misses_{safe} + 1")])],
+                    orelse=[ir.Assign(f"hits_{safe}", f"hits_{safe} + 1")],
+                ),
+            ]
+        else:
+            lookup_stmts = [ir.Assign(f"matched_{safe}[p]", f"lookup_{safe}(fields)")]
         condition = self._enabled_condition(table_name)
         if condition is None:
-            return [lookup]
+            return lookup_stmts
         return [
             ir.If(
-                branches=[(condition, [lookup])],
+                branches=[(condition, lookup_stmts)],
                 orelse=[ir.Assign(f"matched_{safe}[p]", "None")],
             )
         ]

@@ -119,6 +119,43 @@ class MatchActionTable:
         self.hit_count += 1
         return max(candidates, key=lambda entry: (entry.priority, entry.specificity))
 
+    @property
+    def is_exact(self) -> bool:
+        """True when every ``reads`` clause entry uses the exact match kind.
+
+        Such a table's linear scan can be specialised into one dict probe;
+        the fused dRMT code generator keys on the same definition property.
+        """
+        return self.definition.is_exact
+
+    def exact_index(self) -> Dict[Tuple[int, ...], TableEntry]:
+        """The dict-lookup specialisation of an all-exact table.
+
+        Maps the tuple of pattern values (in ``match_fields`` order) to the
+        entry :meth:`lookup` would return for a packet carrying exactly those
+        values: when several entries share one key, the winner is the highest
+        ``(priority, specificity)`` pair, earliest added on ties — the same
+        tie-break ``max`` applies over the scan's candidate list.  Rebuild
+        after adding entries; the generated fused loop builds it once per
+        ``run_trace`` call.
+        """
+        if not self.is_exact:
+            raise TableConfigError(
+                f"table {self.name!r} mixes match kinds; only all-exact tables "
+                "can be specialised into a dict index"
+            )
+        field_order = self.definition.match_fields()
+        index: Dict[Tuple[int, ...], TableEntry] = {}
+        for entry in self.entries:
+            key = tuple(entry.patterns[name].value for name in field_order)
+            best = index.get(key)
+            if best is None or (entry.priority, entry.specificity) > (
+                best.priority,
+                best.specificity,
+            ):
+                index[key] = entry
+        return index
+
 
 class TableStore:
     """The centralised table memory shared by every dRMT processor."""

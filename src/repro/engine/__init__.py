@@ -27,25 +27,39 @@ that names the driver that produced it.
 """
 
 from .base import (
+    DEFAULT_SHARD_AUTO_THRESHOLD,
     ENGINE_AUTO,
     ENGINE_CHOICES,
     ENGINE_FUSED,
     ENGINE_GENERIC,
+    ENGINE_SHARDED,
     ENGINE_TICK,
     ExecutionEngine,
+    available_engines,
     resolve_engine,
 )
 from .result import SimulationResult, sequential_result
 from .rmt import push_phv, run_stage_loop, stage_pairs
 from .rtc import RunToCompletionSimulator
+from .sharded import (
+    ShardedDrmtDriver,
+    ShardedRmtDriver,
+    ShardPlan,
+    ShardStateConflictError,
+    plan_shards,
+    stable_flow_hash,
+)
 
 __all__ = [
     "ENGINE_AUTO",
     "ENGINE_TICK",
     "ENGINE_GENERIC",
     "ENGINE_FUSED",
+    "ENGINE_SHARDED",
     "ENGINE_CHOICES",
+    "DEFAULT_SHARD_AUTO_THRESHOLD",
     "ExecutionEngine",
+    "available_engines",
     "resolve_engine",
     "SimulationResult",
     "sequential_result",
@@ -53,4 +67,10 @@ __all__ = [
     "push_phv",
     "run_stage_loop",
     "RunToCompletionSimulator",
+    "ShardPlan",
+    "ShardStateConflictError",
+    "ShardedDrmtDriver",
+    "ShardedRmtDriver",
+    "plan_shards",
+    "stable_flow_hash",
 ]

@@ -27,13 +27,15 @@ at tick ``p`` on processor ``p % N`` and completes at tick
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from ..drmt.fused import run_to_completion_hazard
-from ..drmt.scheduler import ACTION_OP, MATCH_OP
+from ..drmt.scheduler import ACTION_OP, MATCH_OP, Schedule
 from ..drmt.simulator import DrmtPacketRecord, DrmtSimulationResult
 from ..errors import SimulationError
 from ..p4.program import Action, P4Program
+from .rmt import seed_namespace_cache, _namespace_for
 
 #: Closure signature of one compiled operation: (fields, matched) -> dropped?
 OpClosure = Callable[[Dict[str, int], Dict[str, object]], bool]
@@ -285,3 +287,166 @@ def run_fused(
     if observer is None:
         return fused.run_trace(work, tables.tables, arrays)
     return fused.run_trace_observed(work, tables.tables, arrays, observer)
+
+
+# ----------------------------------------------------------------------
+# Shard-local execution (the sharded meta-driver's per-shard entry point)
+# ----------------------------------------------------------------------
+def derive_state_fields(program: P4Program) -> Optional[Tuple[str, ...]]:
+    """The packet fields that index this program's stateful registers.
+
+    These are the *state-indexing fields*: hash-partitioning a packet trace
+    by their values sends every packet that can touch a given register cell
+    to the same shard, so each shard owns its slice of the register arrays.
+    Returns:
+
+    * a (sorted, deduplicated) tuple of field names when every register
+      access in every table-reachable action indexes by a packet field whose
+      value arrives *with* the packet (no action rewrites it);
+    * the empty tuple when the program touches no registers at all (any
+      partition of the trace is then state-safe);
+    * ``None`` when some register is indexed by an action parameter, a
+      constant, or a field that an action rewrites before use — the input
+      trace then does not determine which cell a packet touches, so no
+      input-derived partition can isolate shards.
+    """
+    index_fields: set = set()
+    written_fields: set = set()
+    for table in program.tables.values():
+        action_names = list(table.actions)
+        if table.default_action is not None:
+            action_names.append(table.default_action)
+        for action_name in action_names:
+            action = program.actions.get(action_name)
+            if action is None:
+                continue
+            for call in action.body:
+                if call.op in ("modify_field", "add_to_field", "subtract_from_field", "register_read"):
+                    written_fields.add(call.args[0])
+                if call.op == "register_read":
+                    index_arg = call.args[2]
+                elif call.op == "register_write":
+                    index_arg = call.args[1]
+                else:
+                    continue
+                if "." not in index_arg or index_arg in action.params:
+                    return None
+                index_fields.add(index_arg)
+    if index_fields & written_fields:
+        return None
+    return tuple(sorted(index_fields))
+
+
+def derive_auto_shard_key(program: P4Program) -> Optional[Tuple[Tuple[str, ...], Optional[int]]]:
+    """The shard key the driver may adopt *without* a caller contract.
+
+    Returns ``(fields, modulus)`` or ``None`` when no provably safe key
+    exists.  ``((), None)`` means the program is register-free (any
+    partition is state-safe).  A keyed result is restricted to the one case
+    where input-hash partitioning provably gives shards exclusive cell
+    ownership: a *single* index field shared by every register access, with
+    every register array the same ``instance_count`` — the key is then the
+    field value reduced modulo that count, so two packets that can touch
+    the same cell (equal index modulo the array size) always share a key.
+    Multi-field or mixed-size programs get no auto key: a tuple hash would
+    split packets that collide on one register's cells across shards, where
+    a cross-shard read evades the write-based conflict check.  An explicit
+    ``shard_key`` remains available for callers who can assert flow
+    ownership themselves.
+    """
+    fields = derive_state_fields(program)
+    if fields is None:
+        return None
+    if not fields:
+        return (), None
+    if len(fields) > 1:
+        return None
+    sizes = {register.instance_count for register in program.registers.values()}
+    if len(sizes) != 1:
+        return None
+    return fields, sizes.pop()
+
+
+def clone_tables(tables: Dict[str, "object"]) -> Dict[str, "object"]:
+    """Shard-private table views: shared (read-only) entries, fresh counters."""
+    clones = {}
+    for name, table in tables.items():
+        clone = type(table)(table.definition, table.program)
+        clone.entries = table.entries
+        clones[name] = clone
+    return clones
+
+
+class _ShardBundle(NamedTuple):
+    """The slice of a program bundle the run-to-completion driver consumes."""
+
+    program: P4Program
+    schedule: Schedule
+
+
+class _ShardRegisters:
+    """Register-file stand-in handing the driver a shard's private arrays."""
+
+    def __init__(self, arrays: Dict[str, List[int]]):
+        self._arrays = arrays
+
+    def arrays(self) -> Dict[str, List[int]]:
+        return self._arrays
+
+
+@dataclass(frozen=True)
+class DrmtShardHandle:
+    """Picklable handle to one compiled dRMT program.
+
+    For the fused mode only the generated module's *source text* crosses the
+    process boundary (the executed namespace cannot); workers compile it once
+    into the process-local namespace cache.  The generic mode rebuilds the
+    run-to-completion closures from the program and schedule in each worker.
+    """
+
+    mode: str
+    program: P4Program
+    schedule: Schedule
+    fused_source: Optional[str] = None
+
+    def run(
+        self,
+        work: List[Dict[str, int]],
+        tables: Dict[str, "object"],
+        arrays: Dict[str, List[int]],
+    ) -> Tuple[List[Dict[str, int]], List[bool], Dict[str, List[int]], Dict[str, Tuple[int, int]]]:
+        """Run one shard of packets; returns (fields, dropped, arrays, hits).
+
+        ``tables`` must be shard-private clones (fresh counters) and
+        ``arrays`` a shard-private copy of the register arrays; both are
+        mutated in place and handed back so the pool path can ship them home.
+        """
+        if self.mode == "fused":
+            namespace = _namespace_for(self.fused_source)
+            dropped = namespace["RUN_TRACE"](work, tables, arrays)
+        else:
+            driver = RunToCompletionDriver(
+                _ShardBundle(self.program, self.schedule),
+                tables,
+                _ShardRegisters(arrays),
+            )
+            dropped = driver.run(work)
+        hits = {name: (table.hit_count, table.miss_count) for name, table in tables.items()}
+        return work, dropped, arrays, hits
+
+
+def drmt_shard_handle(bundle, mode: str) -> DrmtShardHandle:
+    """Build the picklable shard handle for a bundle and seed the cache."""
+    if mode not in ("generic", "fused"):
+        raise SimulationError(f"dRMT shards run under generic or fused drivers, not {mode!r}")
+    fused_source = None
+    if mode == "fused":
+        fused = bundle.fused_program()
+        fused_source = fused.source
+        seed_namespace_cache(fused_source, fused.namespace)
+    return DrmtShardHandle(
+        mode=mode,
+        program=bundle.program,
+        schedule=bundle.schedule,
+        fused_source=fused_source,
+    )

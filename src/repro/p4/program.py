@@ -148,6 +148,15 @@ class Table:
         """Fully qualified fields this table matches on."""
         return [read.field for read in self.reads]
 
+    @property
+    def is_exact(self) -> bool:
+        """True when every read uses the exact match kind.
+
+        The single source of truth for "dict-specialisable": the fused dRMT
+        generator and :meth:`MatchActionTable.exact_index` both key on it.
+        """
+        return all(read.match_kind == "exact" for read in self.reads)
+
 
 @dataclass
 class Register:

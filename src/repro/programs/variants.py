@@ -18,6 +18,7 @@ from typing import Dict, List
 
 from ..chipmunk.allocation import MachineCodeBuilder
 from ..machine_code import naming
+from ..traffic import choice_field
 from .base import BenchmarkProgram
 
 
@@ -141,6 +142,77 @@ def make_threshold_variant(threshold: int, machine_code_threshold: int | None = 
         build_machine_code=build,
         state_template={},
         relevant_containers=[0],
+    )
+
+
+def make_flow_counters_variant(flows: int, op: str = "+") -> BenchmarkProgram:
+    """Per-flow payload accumulators: the flow-partitionable workload family.
+
+    Container 0 carries a flow identifier in ``[0, flows)``, container 1 a
+    payload.  Stage 0 computes one indicator per flow (``flow == k``) into
+    container ``2 + k``; stage 1 holds one ``pred_raw`` accumulator per flow
+    that folds the payload into its state only when its indicator fired.
+    Every state cell is therefore written by exactly one flow — the machine
+    model's rendition of flow-indexed state — which makes this family the
+    reference workload for the sharded driver: hash-partitioning the trace
+    by container 0 gives each shard exclusive ownership of its flows' state
+    cells, so a sharded run is bit-for-bit the sequential run.
+
+    ``op`` is the accumulator's arithmetic (``"+"`` or ``"-"``).
+    """
+    if flows < 1:
+        raise ValueError("need at least one flow")
+    if op not in ("+", "-"):
+        raise ValueError("accumulator op must be '+' or '-'")
+    width = flows + 2
+
+    def spec(phv: List[int], state: Dict[str, int]) -> List[int]:
+        outputs = list(phv)
+        flow = phv[0]
+        for k in range(flows):
+            outputs[2 + k] = 1 if flow == k else 0
+        if 0 <= flow < flows:
+            delta = phv[1] if op == "+" else -phv[1]
+            state[f"flow_{flow}"] = state[f"flow_{flow}"] + delta
+        return outputs
+
+    def build(builder: MachineCodeBuilder) -> None:
+        for k in range(flows):
+            # Stage 0: indicator k = (flow == k).
+            builder.configure_stateless_full(
+                stage=0,
+                slot=k,
+                mode="rel",
+                op="==",
+                a=("pkt", 0),
+                b=("const", k),
+                input_containers=[0, 0],
+            )
+            builder.route_output(stage=0, container=2 + k, kind=naming.STATELESS, slot=k)
+            # Stage 1: accumulator k folds the payload in when indicator k fired.
+            builder.configure_pred_raw(
+                stage=1,
+                slot=k,
+                cond=("<", False, ("pkt", 0)),  # 0 < indicator
+                update=(op, True, ("pkt", 1)),  # state = state op payload
+                input_containers=[2 + k, 1],
+            )
+
+    return BenchmarkProgram(
+        name=f"flow_counters_{flows}{'' if op == '+' else '_sub'}",
+        display_name=f"Flow counters ({flows} flows, {op})",
+        depth=2,
+        width=width,
+        stateful_atom="pred_raw",
+        description=(
+            f"{flows} per-flow payload accumulators with flow-exclusive state cells; "
+            "the flow-partitionable reference workload for the sharded driver."
+        ),
+        spec_function=spec,
+        build_machine_code=build,
+        state_template={f"flow_{k}": 0 for k in range(flows)},
+        relevant_containers=list(range(2, width)),
+        field_generators=[choice_field(range(flows)), None] + [None] * flows,
     )
 
 

@@ -6,8 +6,13 @@ These are the reproduction's central internal correctness oracles:
   identical outputs and state updates for any machine code and any operands;
 * a full pipeline simulated from the unoptimised, SCC-propagated and inlined
   descriptions must produce identical output traces and final state — i.e.
-  the optimisations of §3.4 never change behaviour.
+  the optimisations of §3.4 never change behaviour;
+* the dict-specialised exact-match table lookup the fused dRMT generator
+  emits must agree with the linear-scan :meth:`MatchActionTable.lookup` for
+  any table contents — hits, misses and default-action fallthroughs alike.
 """
+
+import functools
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -151,3 +156,152 @@ class TestOptimisationLevelsAgree:
             naming.output_mux_name(stage, container),
         ):
             assert naming.parse_name(name).render() == name
+
+
+@functools.lru_cache(maxsize=1)
+def _telemetry_bundle():
+    from repro.drmt import DrmtHardwareParams, generate_bundle
+    from repro.p4 import samples
+
+    return generate_bundle(samples.telemetry_pipeline(), DrmtHardwareParams(num_processors=3))
+
+
+class TestExactLookupSpecialisation:
+    """The dict-specialised exact lookup vs the linear-scan oracle.
+
+    The fused dRMT generator replaces :meth:`MatchActionTable.lookup` (a
+    linear scan) with one dict probe over :meth:`exact_index` for all-exact
+    tables; these properties pin the two to identical winners — including
+    duplicate keys decided by priority, first-added tie-breaks, misses, and
+    (end to end) default-action fallthroughs with identical hit statistics.
+    """
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_exact_index_agrees_with_linear_scan(self, data):
+        from repro.drmt.tables import MatchActionTable, MatchPattern, TableEntry
+        from repro.p4.program import Table, TableRead
+
+        num_fields = data.draw(st.integers(min_value=1, max_value=3), label="fields")
+        field_names = [f"pkt.f{index}" for index in range(num_fields)]
+        definition = Table(
+            name="t",
+            reads=[TableRead(field=name, match_kind="exact") for name in field_names],
+            actions=["act"],
+            size=256,
+        )
+        table = MatchActionTable(definition, program=None)
+        # Values from a tiny domain so duplicate keys (priority contests) and
+        # both hits and misses happen often.
+        value_strategy = st.integers(min_value=0, max_value=3)
+        entries = data.draw(
+            st.lists(
+                st.tuples(
+                    st.tuples(*[value_strategy] * num_fields),
+                    st.integers(min_value=0, max_value=3),  # priority
+                ),
+                max_size=24,
+            ),
+            label="entries",
+        )
+        for values, priority in entries:
+            table.add_entry(
+                TableEntry(
+                    patterns={
+                        name: MatchPattern(kind="exact", value=value, width=16)
+                        for name, value in zip(field_names, values)
+                    },
+                    action="act",
+                    action_args=[priority],
+                    priority=priority,
+                )
+            )
+        index = table.exact_index()
+        packets = data.draw(
+            st.lists(st.tuples(*[value_strategy] * num_fields), max_size=12),
+            label="packets",
+        )
+        for values in packets:
+            fields = dict(zip(field_names, values))
+            scanned = table.lookup(fields)
+            probed = index.get(tuple(values))
+            assert probed is scanned, (values, entries)
+
+    def test_exact_index_rejects_mixed_match_kinds(self):
+        from repro.drmt.tables import MatchActionTable
+        from repro.errors import TableConfigError
+        from repro.p4.program import Table, TableRead
+
+        definition = Table(
+            name="t",
+            reads=[
+                TableRead(field="pkt.a", match_kind="exact"),
+                TableRead(field="pkt.b", match_kind="ternary"),
+            ],
+            actions=["act"],
+        )
+        table = MatchActionTable(definition, program=None)
+        assert not table.is_exact
+        with pytest.raises(TableConfigError, match="all-exact"):
+            table.exact_index()
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data())
+    def test_fused_dict_lookup_end_to_end_vs_tick_scan(self, data):
+        """Random table contents: fused (dict probe) == tick (linear scan).
+
+        Covers hits (installed flows), misses and the default-action path
+        (bucketize misses fall through to ``pick_bucket()`` with zero args),
+        including the per-table hit/miss statistics the specialised code
+        accumulates locally and folds back on exit.
+        """
+        from repro.drmt import DRMTSimulator
+        from repro.drmt.tables import MatchPattern, TableEntry
+        from repro.drmt.traffic import PacketGenerator
+        from repro.traffic import choice_field
+
+        bundle = _telemetry_bundle()
+        installed_flows = data.draw(
+            st.lists(st.integers(min_value=0, max_value=7), max_size=6, unique=True),
+            label="installed",
+        )
+        entries = [
+            (
+                "bucketize",
+                TableEntry(
+                    patterns={"pkt.flow_id": MatchPattern(kind="exact", value=flow, width=16)},
+                    action="pick_bucket",
+                    action_args=[data.draw(st.integers(min_value=0, max_value=15), label="bucket")],
+                ),
+            )
+            for flow in installed_flows
+        ]
+        installed_buckets = data.draw(
+            st.lists(st.integers(min_value=0, max_value=15), max_size=8, unique=True),
+            label="buckets",
+        )
+        entries.extend(
+            (
+                "accounting",
+                TableEntry(
+                    patterns={"meta.bucket": MatchPattern(kind="exact", value=bucket, width=16)},
+                    action="accumulate",
+                ),
+            )
+            for bucket in installed_buckets
+        )
+        count = data.draw(st.integers(min_value=0, max_value=60), label="count")
+        seed = data.draw(st.integers(min_value=0, max_value=2**16), label="seed")
+        packets = PacketGenerator(
+            bundle.program,
+            seed=seed,
+            field_overrides={"pkt.flow_id": choice_field(range(10))},
+        ).generate(count)
+
+        tick = DRMTSimulator(bundle, table_entries=list(entries), engine="tick").run_packets(packets)
+        fused = DRMTSimulator(bundle, table_entries=list(entries), engine="fused").run_packets(packets)
+        assert [record.outputs for record in fused.records] == [
+            record.outputs for record in tick.records
+        ]
+        assert fused.table_hits == tick.table_hits
+        assert fused.register_dump == tick.register_dump
