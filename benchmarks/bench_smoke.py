@@ -2,8 +2,8 @@
 
 Runs every Table-1 benchmark program at every dgen optimisation level and
 writes per-(program, level) throughput (PHVs/sec) to a JSON file —
-``BENCH_PR3.json`` by default, extending the trajectory started by
-``BENCH_PR1.json``/``BENCH_PR2.json``.  Two headline ratios are reported per
+``BENCH_PR4.json`` by default, extending the trajectory started by
+``BENCH_PR1.json``–``BENCH_PR3.json``.  Two headline ratios are reported per
 program:
 
 * ``fused vs tick`` — the generated ``run_trace`` loop (opt level 3, with
@@ -24,11 +24,16 @@ driver, once under the single-threaded fused loop, and once under the
 sharded meta-driver with 4 shards across a worker pool — the scaling
 headline for >1M-PHV traces.  ``--sharded-phvs 0`` skips it.
 
+Since PR 4 the sharded cell is measured under *both* shard transports: the
+default pickle pool channel and the ``shm`` shared-memory transport
+(``repro.engine.transport``), so the trajectory records what moving the
+serialization off the parent's thread buys.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_smoke.py [--phvs 3000] [--rounds 3]
         [--programs sampling,conga] [--sharded-phvs 1000000]
-        [--output BENCH_PR3.json]
+        [--output BENCH_PR4.json]
 
 ``--rounds`` defaults to the ``DRUZHBA_BENCH_ROUNDS`` environment variable
 (default 1); each cell keeps the best of that many rounds.  A pytest-marked
@@ -138,7 +143,7 @@ def measure_drmt_cell(name: str, engine: str, packets: int, rounds: int) -> Dict
 #: The sharded cell's workload: per-flow accumulators, flow id in container 0.
 SHARDED_FLOWS = 8
 SHARDED_SHARDS = 4
-SHARDED_ENGINES = ("generic", "fused", "sharded")
+SHARDED_ENGINES = ("generic", "fused", "sharded", "sharded_shm")
 
 
 def measure_sharded_cells(
@@ -149,7 +154,10 @@ def measure_sharded_cells(
     The flow-counters program keeps one accumulator per flow (state cells
     flow-owned by construction), so hash-partitioning the trace on the flow
     container is bit-for-bit safe and the sharded meta-driver can fan the
-    shards across a process pool.  ``workers`` caps the pool; the recorded
+    shards across a process pool.  The sharded configuration runs twice —
+    once per shard transport (``sharded`` = the pickle pool channel,
+    ``sharded_shm`` = flat shared-memory buffers) — so the cell records the
+    serialization tax directly.  ``workers`` caps the pool; the recorded
     ``cpu_count`` tells readers how much parallelism the machine offered.
     """
     program = make_flow_counters_variant(SHARDED_FLOWS)
@@ -157,17 +165,14 @@ def measure_sharded_cells(
         program.pipeline_spec(), program.machine_code(), opt_level=dgen.OPT_FUSED
     )
     inputs = program.traffic_generator(seed=42).generate(phvs)
+    sharding = dict(engine="sharded", shards=shards, workers=workers, shard_key=[0])
     simulators = {
         "generic": RMTSimulator(description, engine="generic"),
         "fused": RMTSimulator(description, engine="fused"),
-        "sharded": RMTSimulator(
-            description,
-            engine="sharded",
-            shards=shards,
-            workers=workers,
-            shard_key=[0],
-        ),
+        "sharded": RMTSimulator(description, transport="pickle", **sharding),
+        "sharded_shm": RMTSimulator(description, transport="shm", **sharding),
     }
+    transports = {"sharded": "pickle", "sharded_shm": "shm"}
     cells: Dict[str, Dict[str, float]] = {}
     for label, simulator in simulators.items():
         engine_seen = None
@@ -180,6 +185,8 @@ def measure_sharded_cells(
 
         best = _best_of(rounds, run)
         cells[label] = {"seconds": best, "phvs_per_sec": phvs / best, "engine": engine_seen}
+        if label in transports:
+            cells[label]["transport"] = transports[label]
     return {
         "program": program.name,
         "phvs": phvs,
@@ -190,6 +197,7 @@ def measure_sharded_cells(
         "cells": cells,
         "speedup_sharded_vs_fused": cells["fused"]["seconds"] / cells["sharded"]["seconds"],
         "speedup_sharded_vs_generic": cells["generic"]["seconds"] / cells["sharded"]["seconds"],
+        "speedup_shm_vs_pickle": cells["sharded"]["seconds"] / cells["sharded_shm"]["seconds"],
     }
 
 
@@ -251,7 +259,7 @@ def run_sweep(
 
     record = {
         "benchmark": "table1_smoke",
-        "pr": 3,
+        "pr": 4,
         "phvs_per_program": phvs,
         "rounds": rounds,
         "levels": list(LEVELS.values()) + [TICK_BASELINE],
@@ -338,7 +346,8 @@ def format_table(record: dict) -> str:
         )
         lines.append(
             f"  {rates}sharded/fused {sharded['speedup_sharded_vs_fused']:.2f}x, "
-            f"sharded/generic {sharded['speedup_sharded_vs_generic']:.2f}x"
+            f"sharded/generic {sharded['speedup_sharded_vs_generic']:.2f}x, "
+            f"shm/pickle {sharded.get('speedup_shm_vs_pickle', 1.0):.2f}x"
         )
     return "\n".join(lines)
 
@@ -367,7 +376,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--sharded-workers", type=int, default=4,
         help="worker processes for the sharded scaling cell",
     )
-    parser.add_argument("--output", default="BENCH_PR3.json", help="output JSON path")
+    parser.add_argument("--output", default="BENCH_PR4.json", help="output JSON path")
     args = parser.parse_args(argv)
 
     names = args.programs.split(",") if args.programs else None

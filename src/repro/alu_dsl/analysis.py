@@ -20,7 +20,6 @@ Analysis performs three jobs:
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict, List, Sequence, Set, Tuple
 
 from ..errors import ALUDSLSemanticError

@@ -20,8 +20,7 @@ Operand sources are written as small tuples:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..alu_dsl import semantics
 from ..errors import AllocationError

@@ -9,7 +9,7 @@ before handing it back.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Union
+from typing import Iterable, List, Mapping, Optional, Sequence, Set, Union
 
 from ..domino import DominoProgram, DominoSpecification, PacketLayout, parse_and_analyze
 from ..domino.ast_nodes import DNumber, walk_dexpr, walk_dstmts, DAssign, DIf

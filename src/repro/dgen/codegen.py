@@ -55,7 +55,6 @@ from .optimize.constant_propagation import (
     specialize_primitive_template,
     specialize_spec,
 )
-from .optimize.folding import fold_expr
 from .optimize.inlining import inline_call
 
 #: Optimisation levels accepted throughout dgen.

@@ -26,7 +26,7 @@ either way — which :mod:`repro.dsim.simulator` exploits as a fast path.
 from __future__ import annotations
 
 import re
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import CodegenError, MissingMachineCodeError
 from ..hardware import PipelineSpec
@@ -40,7 +40,6 @@ from .codegen import (
     OPT_LEVEL_NAMES,
     OPT_LEVELS,
     OPT_SCC,
-    OPT_SCC_INLINE,
     OPT_UNOPTIMIZED,
     input_mux_function_name,
     output_mux_function_name,
@@ -238,7 +237,6 @@ class PipelineGenerator:
     def _generate_stage(
         self, stage: int, module: ir.Module
     ) -> Tuple[str, Tuple[List[ALUCode], List[ALUCode]]]:
-        spec = self.spec
         stateless_codes, stateful_codes = self._alu_codes(stage)
 
         body, out_names = self._stage_body(stage, stateless_codes, stateful_codes, module)

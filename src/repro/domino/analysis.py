@@ -17,7 +17,6 @@ from .ast_nodes import (
     DExpr,
     DFieldRef,
     DIf,
-    DNumber,
     DominoProgram,
     DStateRef,
     DStmt,

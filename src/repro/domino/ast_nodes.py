@@ -21,7 +21,7 @@ The reproduction's dialect supports:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 
 class DExpr:

@@ -10,7 +10,7 @@ directions around the Domino interpreter.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..errors import SpecificationError

@@ -22,7 +22,7 @@ schedule respects dependencies and issue limits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import networkx as nx

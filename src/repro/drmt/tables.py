@@ -9,7 +9,7 @@ shared table store that every processor consults.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..errors import TableConfigError
 from ..p4.program import P4Program, Table

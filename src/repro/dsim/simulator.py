@@ -61,8 +61,11 @@ class RMTSimulator:
 
     ``shards``/``workers``/``shard_key`` configure the sharded meta-driver
     (see the module docstring); ``shard_threshold`` is the input count at
-    which ``engine="auto"`` starts sharding, and ``shard_pool_threshold``
-    the count below which shards run in process rather than across a pool.
+    which ``engine="auto"`` starts sharding, ``shard_pool_threshold`` the
+    count below which shards run in process rather than across a pool, and
+    ``transport`` how shard data crosses the pool boundary (``"pickle"``,
+    the default, or ``"shm"`` for flat shared-memory buffers — see
+    :mod:`repro.engine.transport`).
     """
 
     def __init__(
@@ -76,7 +79,10 @@ class RMTSimulator:
         shard_key: Optional[Sequence[int]] = None,
         shard_threshold: int = DEFAULT_SHARD_AUTO_THRESHOLD,
         shard_pool_threshold: Optional[int] = None,
+        transport: Optional[str] = None,
     ):
+        from ..engine.transport import resolve_transport
+
         self.description = description
         self.engine = engine
         self._runtime_values = runtime_values
@@ -90,6 +96,8 @@ class RMTSimulator:
         self.shard_key = shard_key
         self.shard_threshold = shard_threshold
         self.shard_pool_threshold = shard_pool_threshold
+        # Resolved eagerly so an invalid transport name fails at construction.
+        self.transport = resolve_transport(transport)
         # Set once a conflict forced a fallback: auto stops attempting the
         # doomed sharded run (and its full-trace rerun) for this simulator.
         self._auto_shard_conflict = False
@@ -118,6 +126,7 @@ class RMTSimulator:
                 if self.shard_pool_threshold is not None
                 else sharded.DEFAULT_POOL_THRESHOLD
             ),
+            transport=self.transport,
         )
 
     # ------------------------------------------------------------------
@@ -206,6 +215,7 @@ def simulate(
     shards: Optional[int] = None,
     workers: Optional[int] = None,
     shard_key: Optional[Sequence[int]] = None,
+    transport: Optional[str] = None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`RMTSimulator`."""
     simulator = RMTSimulator(
@@ -216,5 +226,6 @@ def simulate(
         shards=shards,
         workers=workers,
         shard_key=shard_key,
+        transport=transport,
     )
     return simulator.run(phv_values)

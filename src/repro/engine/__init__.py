@@ -49,6 +49,15 @@ from .sharded import (
     plan_shards,
     stable_flow_hash,
 )
+from .transport import (
+    TRANSPORT_CHOICES,
+    TRANSPORT_PICKLE,
+    TRANSPORT_SHM,
+    PickleTransport,
+    SharedMemoryTransport,
+    ShardTransport,
+    resolve_transport,
+)
 
 __all__ = [
     "ENGINE_AUTO",
@@ -73,4 +82,11 @@ __all__ = [
     "ShardedRmtDriver",
     "plan_shards",
     "stable_flow_hash",
+    "TRANSPORT_CHOICES",
+    "TRANSPORT_PICKLE",
+    "TRANSPORT_SHM",
+    "PickleTransport",
+    "SharedMemoryTransport",
+    "ShardTransport",
+    "resolve_transport",
 ]

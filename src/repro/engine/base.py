@@ -19,8 +19,11 @@ recognises four drivers, forming a ladder from most faithful to fastest:
     trace into per-flow shards, runs every shard under the fastest
     sequential driver (fused, else generic) — across a ``multiprocessing``
     pool when the trace is large enough and the program picklable — and
-    deterministically merges the per-shard results.  Available when the
-    simulator facade was configured with sharding knobs.
+    deterministically merges the per-shard results under the read-tracked
+    state-conflict rule.  How shard data crosses the pool boundary is a
+    *transport* choice (:mod:`repro.engine.transport`): the default pickle
+    channel, or flat shared-memory buffers (``transport="shm"``).
+    Available when the simulator facade was configured with sharding knobs.
 
 ``auto`` resolves to the fastest available driver (sharded when configured
 and the trace is at least :data:`DEFAULT_SHARD_AUTO_THRESHOLD` inputs long,

@@ -113,6 +113,10 @@ class RunToCompletionDriver:
                 "use the fused or tick engine instead"
             )
         self._operations: List[OpClosure] = []
+        #: All-exact tables probed through a dict index; refreshed per run so
+        #: entries added between runs are picked up (the fused generator
+        #: rebuilds its index once per ``run_trace`` call the same way).
+        self._exact_probes: List[Tuple[object, List]] = []
         program = bundle.program
         conditions = {apply.table: apply for apply in program.control_flow}
         ordered = sorted(bundle.schedule.start_times.items(), key=lambda item: item[1])
@@ -124,7 +128,7 @@ class RunToCompletionDriver:
                 gate = (condition.condition_field, condition.condition_value)
             if kind == MATCH_OP:
                 self._operations.append(
-                    self._compile_match(table_name, tables[table_name].lookup, gate)
+                    self._compile_match(table_name, tables[table_name], gate)
                 )
             elif kind == ACTION_OP:
                 self._operations.append(
@@ -136,6 +140,8 @@ class RunToCompletionDriver:
     # ------------------------------------------------------------------
     def run(self, work: Sequence[Dict[str, int]]) -> List[bool]:
         """Run every packet to completion in arrival order; return drop flags."""
+        for table, index_cell in self._exact_probes:
+            index_cell[0] = table.exact_index()
         operations = self._operations
         dropped = [False] * len(work)
         for packet, fields in enumerate(work):
@@ -149,10 +155,34 @@ class RunToCompletionDriver:
     # ------------------------------------------------------------------
     # Operation compilation
     # ------------------------------------------------------------------
-    @staticmethod
     def _compile_match(
-        table_name: str, lookup: Callable, gate: Optional[Tuple[str, int]]
+        self, table_name: str, table, gate: Optional[Tuple[str, int]]
     ) -> OpClosure:
+        """One match operation: a dict probe for all-exact tables, else the scan.
+
+        The dict probe shares :meth:`MatchActionTable.exact_index` with the
+        fused code generator — one probe per match instead of a linear scan —
+        and preserves the table's hit/miss counters exactly as
+        :meth:`MatchActionTable.lookup` would have counted them.
+        """
+        if table.is_exact:
+            field_order = tuple(table.definition.match_fields())
+            index_cell: List = [None]  # refreshed at the top of every run()
+            self._exact_probes.append((table, index_cell))
+
+            def probe(fields):
+                entry = index_cell[0].get(
+                    tuple(int(fields.get(name, 0)) for name in field_order)
+                )
+                if entry is None:
+                    table.miss_count += 1
+                else:
+                    table.hit_count += 1
+                return entry
+
+            lookup: Callable = probe
+        else:
+            lookup = table.lookup
         if gate is None:
             def operation(fields, matched):
                 matched[table_name] = lookup(fields)
@@ -292,46 +322,85 @@ def run_fused(
 # ----------------------------------------------------------------------
 # Shard-local execution (the sharded meta-driver's per-shard entry point)
 # ----------------------------------------------------------------------
-def derive_state_fields(program: P4Program) -> Optional[Tuple[str, ...]]:
-    """The packet fields that index this program's stateful registers.
-
-    These are the *state-indexing fields*: hash-partitioning a packet trace
-    by their values sends every packet that can touch a given register cell
-    to the same shard, so each shard owns its slice of the register arrays.
-    Returns:
-
-    * a (sorted, deduplicated) tuple of field names when every register
-      access in every table-reachable action indexes by a packet field whose
-      value arrives *with* the packet (no action rewrites it);
-    * the empty tuple when the program touches no registers at all (any
-      partition of the trace is then state-safe);
-    * ``None`` when some register is indexed by an action parameter, a
-      constant, or a field that an action rewrites before use — the input
-      trace then does not determine which cell a packet touches, so no
-      input-derived partition can isolate shards.
-    """
-    index_fields: set = set()
-    written_fields: set = set()
+def _reachable_actions(program: P4Program):
+    """Every action reachable from a table (including default actions)."""
     for table in program.tables.values():
         action_names = list(table.actions)
         if table.default_action is not None:
             action_names.append(table.default_action)
         for action_name in action_names:
             action = program.actions.get(action_name)
-            if action is None:
+            if action is not None:
+                yield action
+
+
+def written_registers(program: P4Program) -> frozenset:
+    """The registers some table-reachable action can write.
+
+    The complement — registers that are only ever *read* — cannot change
+    during a run, so reads of their cells are interleaving-invariant: the
+    read-set analysis excludes them from shard-key derivation entirely.
+    """
+    return frozenset(
+        call.args[0]
+        for action in _reachable_actions(program)
+        for call in action.body
+        if call.op == "register_write"
+    )
+
+
+def written_packet_fields(program: P4Program) -> frozenset:
+    """The packet fields some table-reachable action can write.
+
+    This is the shm transport's output-field universe: an output packet dict
+    can only ever contain its input fields plus these destinations.
+    """
+    return frozenset(
+        call.args[0]
+        for action in _reachable_actions(program)
+        for call in action.body
+        if call.op in ("modify_field", "add_to_field", "subtract_from_field", "register_read")
+    )
+
+
+def derive_state_fields(program: P4Program) -> Optional[Tuple[str, ...]]:
+    """The packet fields that index this program's *writable* stateful registers.
+
+    These are the *state-indexing fields*: hash-partitioning a packet trace
+    by their values sends every packet that can touch a given writable
+    register cell to the same shard, so each shard owns its slice of the
+    register arrays.  Accesses to registers no action ever writes are read
+    tracked and ignored — a read-only register's cells cannot change, so
+    reads of them are consistent under any partition.  Returns:
+
+    * a (sorted, deduplicated) tuple of field names when every access to a
+      writable register in every table-reachable action indexes by a packet
+      field whose value arrives *with* the packet (no action rewrites it);
+    * the empty tuple when the program writes no registers at all (any
+      partition of the trace is then state-safe, however much it reads);
+    * ``None`` when some writable register is indexed by an action
+      parameter, a constant, or a field that an action rewrites before use —
+      the input trace then does not determine which cell a packet touches,
+      so no input-derived partition can isolate shards.
+    """
+    writable = written_registers(program)
+    index_fields: set = set()
+    written_fields: set = set()
+    for action in _reachable_actions(program):
+        for call in action.body:
+            if call.op in ("modify_field", "add_to_field", "subtract_from_field", "register_read"):
+                written_fields.add(call.args[0])
+            if call.op == "register_read":
+                register, index_arg = call.args[1], call.args[2]
+            elif call.op == "register_write":
+                register, index_arg = call.args[0], call.args[1]
+            else:
                 continue
-            for call in action.body:
-                if call.op in ("modify_field", "add_to_field", "subtract_from_field", "register_read"):
-                    written_fields.add(call.args[0])
-                if call.op == "register_read":
-                    index_arg = call.args[2]
-                elif call.op == "register_write":
-                    index_arg = call.args[1]
-                else:
-                    continue
-                if "." not in index_arg or index_arg in action.params:
-                    return None
-                index_fields.add(index_arg)
+            if register not in writable:
+                continue  # read-only register: its cells cannot change
+            if "." not in index_arg or index_arg in action.params:
+                return None
+            index_fields.add(index_arg)
     if index_fields & written_fields:
         return None
     return tuple(sorted(index_fields))
@@ -341,13 +410,17 @@ def derive_auto_shard_key(program: P4Program) -> Optional[Tuple[Tuple[str, ...],
     """The shard key the driver may adopt *without* a caller contract.
 
     Returns ``(fields, modulus)`` or ``None`` when no provably safe key
-    exists.  ``((), None)`` means the program is register-free (any
-    partition is state-safe).  A keyed result is restricted to the one case
-    where input-hash partitioning provably gives shards exclusive cell
-    ownership: a *single* index field shared by every register access, with
-    every register array the same ``instance_count`` — the key is then the
-    field value reduced modulo that count, so two packets that can touch
-    the same cell (equal index modulo the array size) always share a key.
+    exists.  ``((), None)`` means the program writes no registers (any
+    partition is state-safe — read-only registers cannot change, so this
+    covers register-free programs *and* pure-configuration readers).  A
+    keyed result is restricted to the one case where input-hash partitioning
+    provably gives shards exclusive cell ownership: a *single* index field
+    shared by every access to a writable register, with every writable
+    register array the same ``instance_count`` — the key is then the field
+    value reduced modulo that count, so two packets that can touch the same
+    cell (equal index modulo the array size) always share a key.  Read-only
+    registers are excluded by the read tracking in
+    :func:`derive_state_fields` and do not constrain the field or size rule.
     Multi-field or mixed-size programs get no auto key: a tuple hash would
     split packets that collide on one register's cells across shards, where
     a cross-shard read evades the write-based conflict check.  An explicit
@@ -361,7 +434,10 @@ def derive_auto_shard_key(program: P4Program) -> Optional[Tuple[Tuple[str, ...],
         return (), None
     if len(fields) > 1:
         return None
-    sizes = {register.instance_count for register in program.registers.values()}
+    writable = written_registers(program)
+    if any(name not in program.registers for name in writable):
+        return None
+    sizes = {program.registers[name].instance_count for name in writable}
     if len(sizes) != 1:
         return None
     return fields, sizes.pop()

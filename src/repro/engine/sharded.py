@@ -31,35 +31,48 @@ rules below reject the violations that final values can reveal.
   :class:`ShardStateConflictError` (or falls back to the unsharded driver
   when the facade runs under ``engine="auto"``).
 * A shard that merely *reads* state another shard wrote is invisible to a
-  write-based check, so on the RMT side the merge turns strict whenever the
-  machine code routes a stateful ALU's output into a PHV container
-  (:func:`routes_stateful_output`): outputs can then read state, and any
-  state write at all is treated as a conflict.  On the dRMT side an
-  *explicit* ``shard_key`` carries the contract that register cells are
-  flow-owned for reads as well as writes; the automatically derived key
-  needs no contract at all — it is restricted to the single-field,
-  uniform-size case where cell-sharing packets co-shard by construction.
+  write-based check, so on the RMT side the merge consults the static
+  read-set analysis (:mod:`repro.machine_code.readsets`): a state cell whose
+  value the machine code routes into a PHV container is read by *every*
+  packet, and any write to such an exposed cell by any shard is a conflict.
+  Cells the machine code never exposes keep the one-writer flow rule — this
+  per-cell refinement (PR 4) is what lets programs that expose only
+  read-only cells (configuration thresholds) shard legally where PR 3's
+  whole-state strict rule forced a fallback.  On the dRMT side the read-set
+  analysis lives in shard-key derivation: accesses to registers no action
+  writes are ignored (read-only cells cannot change), and an *explicit*
+  ``shard_key`` carries the contract that register cells are flow-owned for
+  reads as well as writes; the automatically derived key needs no contract
+  at all — it is restricted to the single-field, uniform-size case where
+  cell-sharing packets co-shard by construction.
 * Under **block partitioning** (no key), there is no ownership contract at
   all, so *any* state write is a conflict: only programs whose state
   provably never changes (stateless workloads) may be split blindly.
 
 A shard of one — or an empty trace — degrades to the wrapped driver running
 in process, so ``sharded`` is always safe to request explicitly.
+
+How shard data crosses the process boundary is the *transport*'s concern
+(:mod:`repro.engine.transport`): the default ``pickle`` transport ships
+every payload through the pool's pickle channel, while the ``shm`` transport
+lays traces and per-shard state out in ``multiprocessing.shared_memory``
+flat buffers, with outputs written in place and merged without a second
+copy.  Both drivers accept ``transport=`` (a name or a transport instance).
 """
 
 from __future__ import annotations
 
 import math
-import multiprocessing
 import os
-import pickle
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from ..errors import SimulationError
+from ..machine_code import readsets
 from .base import ENGINE_FUSED, ENGINE_GENERIC, ENGINE_SHARDED
 from . import drmt as drmt_drivers
 from . import rmt as rmt_drivers
 from .result import SimulationResult, sequential_result
+from .transport import ShardTransport, resolve_transport
 
 __all__ = [
     "DEFAULT_POOL_THRESHOLD",
@@ -178,12 +191,16 @@ def _merge_cells(
     shard_cells: Sequence[Dict[Tuple, int]],
     strict_reason: Optional[str],
     context: str,
+    exposed_slots: FrozenSet[Tuple[int, int]] = frozenset(),
 ) -> Dict[Tuple, int]:
     """Merge per-shard final cell values under the conflict check.
 
     With ``strict_reason`` set, *any* changed cell is a conflict (the reason
-    explains why other shards may have observed the cell); otherwise the
-    flow-key rule applies — a cell may change in at most one shard.
+    explains why other shards may have observed the cell).  Otherwise the
+    read-tracked flow-key rule applies per cell: a cell whose ``key[:2]``
+    prefix appears in ``exposed_slots`` (the static read set — its value is
+    routed into packet outputs, so every shard reads it) must not change at
+    all, and every other cell may change in at most one shard.
     """
     merged = dict(initial_cells)
     owners: Dict[Tuple, int] = {}
@@ -195,6 +212,16 @@ def _merge_cells(
                 raise ShardStateConflictError(
                     f"shard {shard} changed {context} state cell {key}, but "
                     f"{strict_reason}; run unsharded (engine='auto' falls back "
+                    "automatically)",
+                    key=key,
+                    shards=(shard,),
+                )
+            if key[:2] in exposed_slots:
+                raise ShardStateConflictError(
+                    f"shard {shard} changed {context} state cell {key}, but the "
+                    "machine code routes stateful ALU outputs of that cell into a "
+                    "PHV container, so packets in every shard read it into their "
+                    "outputs; run unsharded (engine='auto' falls back "
                     "automatically)",
                     key=key,
                     shards=(shard,),
@@ -221,12 +248,6 @@ BLOCK_PARTITION_REASON = (
     "other shards may have read the cell"
 )
 
-#: Strict-merge reason used when the machine code can expose state in outputs.
-EXPOSED_STATE_REASON = (
-    "the machine code routes stateful ALU outputs into PHV containers, so "
-    "packets in other shards may have read this state into their outputs"
-)
-
 
 def _pipeline_cells(state: Sequence[Sequence[Sequence[int]]]) -> Dict[Tuple, int]:
     """Flatten ``[stage][slot][var]`` pipeline state into addressed cells."""
@@ -242,11 +263,17 @@ def merge_pipeline_states(
     initial: List[List[List[int]]],
     shard_states: Sequence[Sequence[Sequence[Sequence[int]]]],
     strict_reason: Optional[str],
+    exposed_slots: FrozenSet[Tuple[int, int]] = frozenset(),
 ) -> List[List[List[int]]]:
-    """Merge RMT per-stage state vectors; raises on a shard conflict."""
+    """Merge RMT per-stage state vectors; raises on a shard conflict.
+
+    ``exposed_slots`` is the static read set (:mod:`repro.machine_code.readsets`):
+    ``(stage, slot)`` cells whose state the machine code routes into PHV
+    containers.  Writes to them conflict regardless of the flow key.
+    """
     merged_cells = _merge_cells(
         _pipeline_cells(initial), [_pipeline_cells(state) for state in shard_states],
-        strict_reason, "pipeline",
+        strict_reason, "pipeline", exposed_slots,
     )
     return [
         [
@@ -286,35 +313,18 @@ def routes_stateful_output(description, values: Dict[str, int]) -> bool:
     """True when any output multiplexer selects a stateful ALU's output.
 
     A routed stateful output copies the ALU's pre-update state value into a
-    PHV container, so downstream outputs *read* state — and a flow-keyed
-    merge is then only sound when no shard writes state at all, because the
-    write-based conflict check cannot see cross-shard reads.
+    PHV container, so downstream outputs *read* state.  The per-cell form of
+    this predicate — which cells, not whether — lives in
+    :func:`repro.machine_code.readsets.exposed_state_slots` and is what the
+    merge actually consults; this boolean stays for callers that only need
+    the coarse answer.
     """
-    from ..machine_code import naming
-
-    spec = description.spec
-    width = spec.width
-    choices = spec.output_mux_choices
-    for stage in range(spec.depth):
-        for container in range(width):
-            value = values.get(naming.output_mux_name(stage, container))
-            # The executed mux reduces the opcode modulo its choice count
-            # (see pipeline_builder._output_mux_code); mirror that here so an
-            # out-of-domain opcode cannot smuggle a stateful route past us.
-            if value is not None and width <= value % choices < 2 * width:
-                return True
-    return False
+    return readsets.routes_stateful_output(description.spec, values)
 
 
 # ----------------------------------------------------------------------
-# Shard execution (pool or in-process)
+# Shard execution (pool or in-process; see repro.engine.transport)
 # ----------------------------------------------------------------------
-def _execute_shard(payload: Tuple) -> Tuple:
-    """Pool entry point: run one shard through its handle."""
-    handle, args = payload
-    return handle.run(*args)
-
-
 def resolve_workers(workers: Optional[int], shards: int) -> int:
     """Effective worker count: never more than shards or available cores."""
     if workers is not None:
@@ -322,43 +332,6 @@ def resolve_workers(workers: Optional[int], shards: int) -> int:
             raise SimulationError(f"worker count must be at least 1, got {workers}")
         return min(workers, shards)
     return max(1, min(shards, os.cpu_count() or 1))
-
-
-def _picklable(handle) -> bool:
-    try:
-        pickle.dumps(handle)
-        return True
-    except Exception:
-        return False
-
-
-def run_shard_payloads(
-    payloads: List[Tuple],
-    workers: int,
-    total: int,
-    pool_threshold: int,
-) -> List[Tuple]:
-    """Run every shard payload, across a pool when it can possibly pay off.
-
-    The pool engages only when more than one worker is available, the trace
-    is at least ``pool_threshold`` inputs long and the program handle is
-    picklable; otherwise the shards run sequentially in process — same
-    partition, same merge, bit-for-bit the same result.
-    """
-    use_pool = (
-        len(payloads) > 1
-        and workers > 1
-        and total >= pool_threshold
-        and _picklable(payloads[0][0])
-    )
-    if not use_pool:
-        return [_execute_shard(payload) for payload in payloads]
-    methods = multiprocessing.get_all_start_methods()
-    # Fork inherits the parent's compiled-namespace caches, sparing every
-    # worker the per-process recompilation that spawn pays once per source.
-    context = multiprocessing.get_context("fork" if "fork" in methods else None)
-    with context.Pool(processes=min(workers, len(payloads))) as pool:
-        return pool.map(_execute_shard, payloads, chunksize=1)
 
 
 # ----------------------------------------------------------------------
@@ -376,7 +349,9 @@ class ShardedRmtDriver:
     partitioning, valid only for workloads that never write state (the merge
     enforces this).  ``on_conflict`` is ``"raise"`` (explicit
     ``engine="sharded"``) or ``"fallback"`` (``engine="auto"``: rerun the
-    whole trace under the wrapped driver).
+    whole trace under the wrapped driver).  ``transport`` selects how shard
+    data crosses the pool boundary (``"pickle"``, ``"shm"`` or a
+    :class:`~repro.engine.transport.ShardTransport` instance).
     """
 
     def __init__(
@@ -389,6 +364,7 @@ class ShardedRmtDriver:
         key: Optional[Sequence[int]] = None,
         on_conflict: str = "raise",
         pool_threshold: int = DEFAULT_POOL_THRESHOLD,
+        transport: Union[str, ShardTransport, None] = None,
     ):
         if on_conflict not in ("raise", "fallback"):
             raise SimulationError(
@@ -399,6 +375,7 @@ class ShardedRmtDriver:
         self.workers = resolve_workers(workers, shards)
         self.on_conflict = on_conflict
         self.pool_threshold = pool_threshold
+        self.transport = resolve_transport(transport)
         self._values = (
             runtime_values if runtime_values is not None else description.runtime_values()
         )
@@ -463,20 +440,27 @@ class ShardedRmtDriver:
             return result
 
         handle = rmt_drivers.shard_handle(description, self.inner_mode, self._values)
-        payloads = [
-            (handle, (shard_work, _copy_state(base_state)))
-            for shard_work in plan.scatter(work)
-        ]
-        results = run_shard_payloads(payloads, self.workers, len(work), self.pool_threshold)
+        shard_works = plan.scatter(work)
+        shard_states = [_copy_state(base_state) for _ in range(len(plan))]
+        results = self.transport.run_rmt_shards(
+            handle, shard_works, shard_states, self.workers, len(work), self.pool_threshold
+        )
         if keys is None:
             strict_reason: Optional[str] = BLOCK_PARTITION_REASON
-        elif routes_stateful_output(description, self._exposure_values):
-            strict_reason = EXPOSED_STATE_REASON
+            exposed_slots: FrozenSet[Tuple[int, int]] = frozenset()
         else:
             strict_reason = None
+            # The static read set: cells whose state the machine code routes
+            # into packet outputs.  Writes to them conflict under any key.
+            exposed_slots = readsets.exposed_state_slots(
+                description.spec, self._exposure_values
+            )
         try:
             merged_state = merge_pipeline_states(
-                base_state, [state for _outputs, state in results], strict_reason
+                base_state,
+                [state for _outputs, state in results],
+                strict_reason,
+                exposed_slots,
             )
         except ShardStateConflictError:
             if self.on_conflict == "fallback":
@@ -513,7 +497,8 @@ class ShardedDrmtDriver:
     ``registers``/``tables`` (exactly what a sequential run would have left
     behind), and the mutated packet field dicts plus drop flags are returned
     for the facade to assemble into its result record.  On a merge conflict
-    nothing is applied.
+    nothing is applied.  ``transport`` selects how shard data crosses the
+    pool boundary (``"pickle"``, ``"shm"`` or a transport instance).
     """
 
     def __init__(
@@ -525,6 +510,7 @@ class ShardedDrmtDriver:
         workers: Optional[int] = None,
         key: Optional[Sequence[str]] = None,
         pool_threshold: int = DEFAULT_POOL_THRESHOLD,
+        transport: Union[str, ShardTransport, None] = None,
     ):
         self.bundle = bundle
         self.tables = tables
@@ -532,6 +518,7 @@ class ShardedDrmtDriver:
         self.shards = shards
         self.workers = resolve_workers(workers, shards)
         self.pool_threshold = pool_threshold
+        self.transport = resolve_transport(transport)
         self.key: Optional[Tuple[str, ...]]
         #: Reduce key values modulo the register size before hashing (set only
         #: for the derived single-field key, where it makes cell sharing
@@ -588,18 +575,23 @@ class ShardedDrmtDriver:
         base_arrays = {
             name: list(array) for name, array in self.registers.arrays().items()
         }
-        payloads = [
-            (
-                handle,
-                (
-                    shard_work,
-                    drmt_drivers.clone_tables(self.tables.tables),
-                    {name: list(array) for name, array in base_arrays.items()},
-                ),
-            )
-            for shard_work in plan.scatter(work)
+        shard_works = plan.scatter(work)
+        shard_tables = [
+            drmt_drivers.clone_tables(self.tables.tables) for _ in range(len(plan))
         ]
-        results = run_shard_payloads(payloads, self.workers, len(work), self.pool_threshold)
+        shard_arrays = [
+            {name: list(array) for name, array in base_arrays.items()}
+            for _ in range(len(plan))
+        ]
+        results = self.transport.run_drmt_shards(
+            handle,
+            shard_works,
+            shard_tables,
+            shard_arrays,
+            self.workers,
+            len(work),
+            self.pool_threshold,
+        )
         # A single shard is exactly the sequential run: nothing to prove.
         strict_reason = None if (keys or len(plan) <= 1) else BLOCK_PARTITION_REASON
         merged_arrays = merge_register_states(

@@ -20,7 +20,7 @@ edges carry a ``kind`` attribute (``match`` / ``action`` / ``successor``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Set
 
 import networkx as nx
 

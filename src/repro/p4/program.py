@@ -12,7 +12,7 @@ order (optionally under a condition).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import P4SemanticError
 

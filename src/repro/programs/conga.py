@@ -20,7 +20,6 @@ container  input             output
 
 from __future__ import annotations
 
-import random
 from typing import Dict, List
 
 from ..chipmunk.allocation import MachineCodeBuilder

@@ -147,3 +147,88 @@ class TestEngineFlags:
         out = capsys.readouterr().out
         assert "def run_trace(" in out
         assert "VISIT_ORDERS" in out
+
+
+class TestShardingKnobs:
+    """CLI coverage for --shards/--workers/--shard-key/--transport."""
+
+    DSIM_SHARDED = [
+        "--depth", "1", "--width", "2", "--stateful-alu", "pred_raw",
+        "--phvs", "8", "--engine", "sharded",
+    ]
+
+    def test_dsim_sharded_happy_path(self, capsys):
+        assert dsim_main(
+            self.DSIM_SHARDED
+            + ["--shards", "2", "--workers", "1", "--shard-key", "0"]
+        ) == 0
+        assert "engine: sharded[" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("transport", ["pickle", "shm"])
+    def test_dsim_transport_happy_path(self, transport, capsys):
+        assert dsim_main(
+            self.DSIM_SHARDED
+            + ["--shards", "2", "--workers", "1", "--shard-key", "0",
+               "--transport", transport]
+        ) == 0
+        assert "engine: sharded[" in capsys.readouterr().err
+
+    def test_dsim_transport_outputs_identical_across_transports(self, capsys):
+        outputs = {}
+        for transport in ("pickle", "shm"):
+            assert dsim_main(
+                self.DSIM_SHARDED
+                + ["--shards", "2", "--workers", "1", "--shard-key", "0",
+                   "--transport", transport]
+            ) == 0
+            outputs[transport] = capsys.readouterr().out
+        assert outputs["pickle"] == outputs["shm"]
+
+    def test_dsim_rejects_invalid_shards_and_workers(self, capsys):
+        assert dsim_main(self.DSIM_SHARDED + ["--shards", "0"]) == 1
+        assert "shard count" in capsys.readouterr().err
+        assert dsim_main(self.DSIM_SHARDED + ["--shards", "2", "--workers", "0"]) == 1
+        assert "worker count" in capsys.readouterr().err
+
+    def test_dsim_rejects_malformed_shard_key(self, capsys):
+        assert dsim_main(self.DSIM_SHARDED + ["--shards", "2", "--shard-key", "a,b"]) == 1
+        assert "--shard-key" in capsys.readouterr().err
+        assert dsim_main(self.DSIM_SHARDED + ["--shards", "2", "--shard-key", "99"]) == 1
+        assert "out of range" in capsys.readouterr().err
+
+    def test_dsim_rejects_unknown_transport_via_argparse(self):
+        with pytest.raises(SystemExit):
+            dsim_main(self.DSIM_SHARDED + ["--transport", "smoke-signal"])
+
+    def test_drmt_sharded_happy_path(self, capsys):
+        assert drmt_main(
+            ["--packets", "10", "--engine", "sharded", "--shards", "2", "--workers", "1"]
+        ) == 0
+        assert "(sharded[" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("transport", ["pickle", "shm"])
+    def test_drmt_transport_happy_path(self, transport, capsys):
+        assert drmt_main(
+            ["--packets", "10", "--engine", "sharded", "--shards", "2",
+             "--workers", "1", "--transport", transport]
+        ) == 0
+        assert "(sharded[" in capsys.readouterr().out
+
+    def test_drmt_rejects_invalid_shards_and_workers(self, capsys):
+        assert drmt_main(["--packets", "5", "--engine", "sharded", "--shards", "-1"]) == 1
+        assert "shard count" in capsys.readouterr().err
+        assert drmt_main(
+            ["--packets", "5", "--engine", "sharded", "--shards", "2", "--workers", "0"]
+        ) == 1
+        assert "worker count" in capsys.readouterr().err
+
+    def test_drmt_rejects_unknown_transport_via_argparse(self):
+        with pytest.raises(SystemExit):
+            drmt_main(["--packets", "5", "--transport", "telepathy"])
+
+    def test_drmt_explicit_shard_key_happy_path(self, capsys):
+        assert drmt_main(
+            ["--packets", "12", "--engine", "sharded", "--shards", "2",
+             "--workers", "1", "--shard-key", "ipv4.dstAddr"]
+        ) == 0
+        assert "(sharded[" in capsys.readouterr().out

@@ -9,7 +9,7 @@ from repro.domino import (
     parse,
     parse_and_analyze,
 )
-from repro.domino.ast_nodes import DAssign, DBinaryOp, DIf, DNumber, DTernary
+from repro.domino.ast_nodes import DAssign, DBinaryOp, DIf, DTernary
 from repro.domino.lexer import DTokenType, tokenize
 from repro.errors import DominoSemanticError, DominoSyntaxError, SpecificationError
 

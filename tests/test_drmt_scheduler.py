@@ -9,7 +9,6 @@ from repro.drmt import (
     DrmtHardwareParams,
     GreedyScheduler,
     MilpScheduler,
-    Schedule,
     schedule_program,
     validate_schedule,
 )

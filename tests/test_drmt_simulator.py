@@ -194,3 +194,87 @@ class TestTelemetryPipeline:
         result = simulator.run_packets([calm, congested])
         assert result.records[0].outputs["meta.alarm"] == 0
         assert result.records[1].outputs["meta.alarm"] == 1
+
+
+class TestGenericDriverExactMatchProbes:
+    """The generic run-to-completion driver shares the exact-match dict index.
+
+    PR 3 dict-specialised all-exact tables in the *fused* generator; the
+    generic driver kept the linear scan.  It now probes
+    :meth:`MatchActionTable.exact_index` for all-exact tables — one dict
+    probe per match — with hit/miss counters preserved, while ternary/LPM
+    tables keep the scan.
+    """
+
+    def _flow_restricted_packets(self, bundle, count):
+        from repro.traffic import choice_field
+
+        generator = PacketGenerator(
+            bundle.program, seed=4, field_overrides={"pkt.flow_id": choice_field([1, 2, 3])}
+        )
+        return generator.generate(count)
+
+    def test_generic_driver_never_scans_all_exact_tables(self, monkeypatch):
+        """The scan path must not run for an all-exact table."""
+        from repro.drmt.tables import MatchActionTable
+
+        bundle = generate_bundle(
+            samples.telemetry_pipeline(), DrmtHardwareParams(num_processors=2)
+        )
+        simulator = DRMTSimulator(
+            bundle, table_entries=samples.TELEMETRY_ENTRIES, engine="generic"
+        )
+        packets = self._flow_restricted_packets(bundle, 40)
+        exact_names = {
+            name
+            for name, table in simulator.tables.tables.items()
+            if table.is_exact
+        }
+        assert exact_names  # telemetry has all-exact tables to specialise
+        original_lookup = MatchActionTable.lookup
+
+        def guarded_lookup(table, fields):
+            assert table.name not in exact_names, (
+                f"generic driver scanned all-exact table {table.name!r}"
+            )
+            return original_lookup(table, fields)
+
+        monkeypatch.setattr(MatchActionTable, "lookup", guarded_lookup)
+        result = simulator.run_packets(packets)
+        assert result.engine == "generic"
+        assert result.packets_processed == len(packets)
+
+    def test_generic_counters_match_the_tick_interpreter(self):
+        """Dict probes count hits and misses exactly like lookup() did."""
+        bundle = generate_bundle(
+            samples.telemetry_pipeline(), DrmtHardwareParams(num_processors=2)
+        )
+        packets = self._flow_restricted_packets(bundle, 60)
+        tick = DRMTSimulator(
+            bundle, table_entries=samples.TELEMETRY_ENTRIES, engine="tick"
+        ).run_packets(packets)
+        generic = DRMTSimulator(
+            bundle, table_entries=samples.TELEMETRY_ENTRIES, engine="generic"
+        ).run_packets(packets)
+        assert generic.table_hits == tick.table_hits
+        assert [record.outputs for record in generic.records] == [
+            record.outputs for record in tick.records
+        ]
+        assert generic.register_dump == tick.register_dump
+
+    def test_entries_added_between_runs_are_picked_up(self):
+        """The dict index refreshes per run, like the fused loop's."""
+        from repro.drmt.table_config import parse_entries, populate_store
+
+        bundle = generate_bundle(
+            samples.telemetry_pipeline(), DrmtHardwareParams(num_processors=2)
+        )
+        simulator = DRMTSimulator(bundle, engine="generic")  # no entries yet
+        packets = self._flow_restricted_packets(bundle, 20)
+        first = simulator.run_packets(packets)
+        assert all(hits == 0 for hits, _ in first.table_hits.values())
+        populate_store(
+            simulator.tables, parse_entries(samples.TELEMETRY_ENTRIES, bundle.program)
+        )
+        second = simulator.run_packets(packets)
+        assert any(hits > 0 for hits, _ in second.table_hits.values())

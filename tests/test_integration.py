@@ -1,10 +1,9 @@
 """End-to-end integration tests spanning multiple subsystems."""
 
-import pytest
 
 from repro import atoms, dgen
 from repro.chipmunk import ChipmunkCompiler, MachineCodeBuilder, SynthesisConfig
-from repro.domino import DominoSpecification, PacketLayout
+from repro.domino import PacketLayout
 from repro.dsim import RMTSimulator
 from repro.hardware import PipelineSpec
 from repro.machine_code import MachineCode, naming

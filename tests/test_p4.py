@@ -15,7 +15,7 @@ from repro.p4 import (
     samples,
     table_usage,
 )
-from repro.p4.program import Action, PrimitiveCall, Table, TableRead
+from repro.p4.program import PrimitiveCall, TableRead
 
 MINIMAL = """
 header_type h_t { fields { a : 8; b : 16; } }
@@ -184,7 +184,6 @@ class TestDependencies:
         assert classify_dependency(before, after) in (SUCCESSOR_DEPENDENCY, ACTION_DEPENDENCY)
 
     def test_conditional_application_adds_control_dependency(self):
-        program = samples.simple_router()
         source = samples.SIMPLE_ROUTER.replace(
             "apply(acl);", ""
         ).replace(

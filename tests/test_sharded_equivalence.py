@@ -34,6 +34,8 @@ from repro.errors import SimulationError
 from repro.programs import TABLE1_ORDER, get_program
 from repro.programs.variants import (
     make_accumulator_variant,
+    make_flow_counters_cross_reader_variant,
+    make_flow_counters_readers_variant,
     make_flow_counters_variant,
     make_threshold_variant,
 )
@@ -454,6 +456,265 @@ class TestConflictGuard:
 
 
 # ----------------------------------------------------------------------
+# Read-set tracking: the per-cell exposure rule
+# ----------------------------------------------------------------------
+class TestReadSetTracking:
+    def test_exposed_state_slots_static_pass(self):
+        """The static pass names exactly the routed stateful cells."""
+        from repro.machine_code.readsets import exposed_state_slots, stage_read_sets
+
+        plain = compiled(make_flow_counters_variant(3))
+        assert exposed_state_slots(plain.spec, plain.runtime_values()) == frozenset()
+
+        readers = compiled(make_flow_counters_readers_variant(3))
+        values = readers.runtime_values()
+        assert exposed_state_slots(readers.spec, values) == frozenset(
+            {(2, 0), (2, 1), (2, 2)}
+        )
+        assert stage_read_sets(readers.spec, values) == {2: frozenset({0, 1, 2})}
+
+        cross = compiled(make_flow_counters_cross_reader_variant(3))
+        assert exposed_state_slots(cross.spec, cross.runtime_values()) == frozenset(
+            {(1, 0)}
+        )
+
+    def test_readers_variant_matches_its_specification(self):
+        """The machine code of the reader workload is fuzz-validated."""
+        from repro.testing import FuzzConfig, FuzzTester
+
+        for factory in (
+            make_flow_counters_readers_variant,
+            make_flow_counters_cross_reader_variant,
+        ):
+            program = factory(3)
+            tester = FuzzTester(
+                program.pipeline_spec(),
+                program.specification(),
+                config=FuzzConfig(num_phvs=150, seed=5),
+                traffic_generator=program.traffic_generator(seed=5),
+                initial_state=program.initial_pipeline_state(),
+            )
+            outcome = tester.test(program.machine_code())
+            assert outcome.passed, f"{program.name}: {outcome.describe()}"
+
+    @pytest.mark.parametrize("shards", (2, 4, 7))
+    def test_flow_local_readers_shard_bit_for_bit(self, shards):
+        """Exposing read-only cells no longer forces the strict fallback.
+
+        PR 3's whole-state rule refused any program that routed a stateful
+        output; the per-cell read set sees that the exposed threshold cells
+        are never written while the written accumulators are never exposed,
+        so the workload shards legally — and bit-for-bit against both
+        sequential drivers.
+        """
+        program = make_flow_counters_readers_variant(4)
+        description = compiled(program)
+        initial = program.initial_pipeline_state
+        inputs = program.traffic_generator(seed=11).generate(160)
+        reference = RMTSimulator(
+            description, initial_state=initial(), engine="generic"
+        ).run(inputs)
+        tick = RMTSimulator(description, initial_state=initial(), engine="tick").run(inputs)
+        sharded = RMTSimulator(
+            description,
+            initial_state=initial(),
+            engine="sharded",
+            shards=shards,
+            workers=1,
+            shard_key=[0],
+        ).run(inputs)
+        assert_bit_for_bit(tick, reference, "tick vs generic")
+        assert_bit_for_bit(sharded, reference, f"sharded x{shards}")
+        assert sharded.engine == "sharded[fused]"
+
+    def test_flow_local_readers_stay_sharded_under_auto(self):
+        """auto keeps the sharded driver: no conflict is recorded."""
+        program = make_flow_counters_readers_variant(3)
+        description = compiled(program)
+        inputs = program.traffic_generator(seed=3).generate(90)
+        simulator = RMTSimulator(
+            description,
+            initial_state=program.initial_pipeline_state(),
+            engine="auto",
+            shards=4,
+            workers=1,
+            shard_key=[0],
+            shard_threshold=1,
+        )
+        result = simulator.run(inputs)
+        assert result.engine == "sharded[fused]"
+        assert not simulator._auto_shard_conflict
+
+    def test_cross_flow_reader_still_raises(self):
+        """A written cell exposed to every packet must keep conflicting."""
+        program = make_flow_counters_cross_reader_variant(4)
+        description = compiled(program)
+        inputs = program.traffic_generator(seed=2).generate(120)
+        with pytest.raises(ShardStateConflictError) as excinfo:
+            RMTSimulator(
+                description, engine="sharded", shards=4, workers=1, shard_key=[0]
+            ).run(inputs)
+        message = str(excinfo.value)
+        assert "routes stateful ALU outputs" in message
+        assert excinfo.value.key == (1, 0, 0)
+
+    def test_cross_flow_reader_falls_back_under_auto(self):
+        program = make_flow_counters_cross_reader_variant(3)
+        description = compiled(program)
+        inputs = program.traffic_generator(seed=4).generate(80)
+        reference = RMTSimulator(description, engine="generic").run(inputs)
+        auto = RMTSimulator(
+            description,
+            engine="auto",
+            shards=4,
+            workers=1,
+            shard_key=[0],
+            shard_threshold=1,
+        ).run(inputs)
+        assert_bit_for_bit(auto, reference)
+        assert not auto.engine.startswith(ENGINE_SHARDED)
+
+
+# ----------------------------------------------------------------------
+# Shard transports
+# ----------------------------------------------------------------------
+class TestShardTransports:
+    def test_unknown_transport_rejected_everywhere(self):
+        from repro.engine.transport import resolve_transport
+
+        with pytest.raises(SimulationError, match="pickle, shm"):
+            resolve_transport("carrier-pigeon")
+        program = make_flow_counters_variant(2)
+        description = compiled(program)
+        with pytest.raises(SimulationError, match="unknown shard transport"):
+            RMTSimulator(description, engine="sharded", transport="bogus")
+
+        from repro.drmt import DRMTSimulator, DrmtHardwareParams, generate_bundle
+        from repro.p4 import samples
+
+        bundle = generate_bundle(samples.simple_router(), DrmtHardwareParams())
+        with pytest.raises(SimulationError, match="unknown shard transport"):
+            DRMTSimulator(bundle, engine="sharded", transport="bogus")
+
+    @pytest.mark.parametrize("opt_level", (dgen.OPT_SCC_INLINE, dgen.OPT_FUSED))
+    def test_shm_pool_matches_pickle_pool_and_in_process(self, opt_level):
+        """The transport is a wire-format choice, never a semantics choice."""
+        from repro.engine.transport import SharedMemoryTransport
+
+        program = make_flow_counters_variant(6)
+        description = compiled(program, opt_level=opt_level)
+        inputs = program.traffic_generator(seed=9).generate(400)
+        in_process = RMTSimulator(
+            description, engine="sharded", shards=4, workers=1, shard_key=[0]
+        ).run(inputs)
+        pickled = RMTSimulator(
+            description,
+            engine="sharded",
+            shards=4,
+            workers=2,
+            shard_key=[0],
+            shard_pool_threshold=1,
+            transport="pickle",
+        ).run(inputs)
+        shm = SharedMemoryTransport()
+        shared = RMTSimulator(
+            description,
+            engine="sharded",
+            shards=4,
+            workers=2,
+            shard_key=[0],
+            shard_pool_threshold=1,
+            transport=shm,
+        ).run(inputs)
+        assert_bit_for_bit(pickled, in_process, "pickle pool")
+        assert_bit_for_bit(shared, in_process, "shm pool")
+        assert shm.last_fallback_reason is None
+
+    def test_shm_falls_back_when_values_exceed_int64(self):
+        """Non-flat-packable traces silently take the pickle path, recorded."""
+        from repro.engine.transport import SharedMemoryTransport
+
+        program = make_flow_counters_variant(4)
+        description = compiled(program)
+        inputs = [[index % 4, 1 << 70] + [0] * 4 for index in range(60)]
+        reference = RMTSimulator(
+            description, engine="sharded", shards=4, workers=1, shard_key=[0]
+        ).run(inputs)
+        shm = SharedMemoryTransport()
+        result = RMTSimulator(
+            description,
+            engine="sharded",
+            shards=4,
+            workers=2,
+            shard_key=[0],
+            shard_pool_threshold=1,
+            transport=shm,
+        ).run(inputs)
+        assert_bit_for_bit(result, reference, "fallback")
+        assert shm.last_fallback_reason is not None
+        assert "int64" in shm.last_fallback_reason
+
+    def test_shm_transport_on_drmt_matches_in_process(self):
+        from repro.drmt import DRMTSimulator
+        from repro.drmt.traffic import PacketGenerator
+        from repro.engine.transport import SharedMemoryTransport
+        from repro.p4 import samples
+        from repro.drmt import DrmtHardwareParams, generate_bundle
+        from repro.traffic import choice_field
+
+        bundle = generate_bundle(
+            samples.telemetry_pipeline(), DrmtHardwareParams(num_processors=4)
+        )
+        entries = samples.TELEMETRY_ENTRIES
+        generator = PacketGenerator(
+            bundle.program, seed=8, field_overrides={"pkt.flow_id": choice_field([1, 2, 3])}
+        )
+        packets = generator.generate(240)
+        in_process = DRMTSimulator(
+            bundle, table_entries=entries, engine="sharded", shards=3, workers=1,
+            shard_key=["pkt.flow_id"],
+        ).run_packets(packets)
+        shm = SharedMemoryTransport()
+        shared = DRMTSimulator(
+            bundle, table_entries=entries, engine="sharded", shards=3, workers=2,
+            shard_key=["pkt.flow_id"], shard_pool_threshold=1, transport=shm,
+        ).run_packets(packets)
+        TestDrmtSharding._assert_results_equal(shared, in_process)
+        assert shm.last_fallback_reason is None
+
+    def test_shm_transport_on_drmt_falls_back_for_ragged_packets(self):
+        """Packets with differing field sets are not flat-packable."""
+        from repro.drmt import DRMTSimulator, DrmtHardwareParams, generate_bundle
+        from repro.drmt.traffic import PacketGenerator
+        from repro.engine.transport import SharedMemoryTransport
+        from repro.p4 import samples
+        from repro.traffic import choice_field
+
+        bundle = generate_bundle(
+            samples.telemetry_pipeline(), DrmtHardwareParams(num_processors=2)
+        )
+        generator = PacketGenerator(
+            bundle.program, seed=1, field_overrides={"pkt.flow_id": choice_field([1, 2])}
+        )
+        packets = generator.generate(120)
+        del packets[7]["pkt.queue_depth"]  # one ragged packet rules shm out
+        shm = SharedMemoryTransport()
+        shared = DRMTSimulator(
+            bundle, table_entries=samples.TELEMETRY_ENTRIES, engine="sharded",
+            shards=2, workers=2, shard_key=["pkt.flow_id"], shard_pool_threshold=1,
+            transport=shm,
+        ).run_packets(packets)
+        pickled = DRMTSimulator(
+            bundle, table_entries=samples.TELEMETRY_ENTRIES, engine="sharded",
+            shards=2, workers=2, shard_key=["pkt.flow_id"], shard_pool_threshold=1,
+            transport="pickle",
+        ).run_packets(packets)
+        TestDrmtSharding._assert_results_equal(shared, pickled)
+        assert shm.last_fallback_reason is not None
+        assert "field sets vary" in shm.last_fallback_reason
+
+
+# ----------------------------------------------------------------------
 # Selection rules
 # ----------------------------------------------------------------------
 class TestShardedSelection:
@@ -759,6 +1020,133 @@ control ingress {
             DRMTSimulator(
                 bundle, table_entries=entries, engine="sharded", shards=2
             ).run_packets(packets, observer=lambda *args: None)
+
+    #: Per-flow counter plus a *read-only* configuration register read at a
+    #: constant index.  Under PR 3's write-blind derivation the constant
+    #: index made the whole program unshardable; read tracking sees that
+    #: ``config`` is never written and derives the per-flow key anyway.
+    READ_ONLY_CONFIG_SOURCE = """
+header_type pkt_t {
+    fields {
+        flow : 16;
+        limit : 16;
+        total : 16;
+    }
+}
+
+header pkt_t pkt;
+
+register per_flow {
+    width : 32;
+    instance_count : 8;
+}
+
+register config {
+    width : 32;
+    instance_count : 4;
+}
+
+action bump() {
+    register_read(pkt.limit, config, 2);
+    register_read(pkt.total, per_flow, pkt.flow);
+    add_to_field(pkt.total, 1);
+    register_write(per_flow, pkt.flow, pkt.total);
+}
+
+table counters {
+    reads {
+        pkt.flow : exact;
+    }
+    actions { bump; }
+    default_action : bump;
+}
+
+control ingress {
+    apply(counters);
+}
+"""
+
+    #: A program whose only register is read-only: any partition is safe.
+    PURE_READER_SOURCE = """
+header_type pkt_t {
+    fields {
+        flow : 16;
+        limit : 16;
+    }
+}
+
+header pkt_t pkt;
+
+register config {
+    width : 32;
+    instance_count : 4;
+}
+
+action tag() {
+    register_read(pkt.limit, config, 1);
+}
+
+table taggers {
+    reads {
+        pkt.flow : exact;
+    }
+    actions { tag; }
+    default_action : tag;
+}
+
+control ingress {
+    apply(taggers);
+}
+"""
+
+    def test_read_only_register_does_not_block_the_auto_key(self):
+        """Read tracking: a never-written register is ignored by derivation."""
+        from repro.drmt import DrmtHardwareParams, generate_bundle
+        from repro.engine.drmt import (
+            derive_auto_shard_key,
+            derive_state_fields,
+            written_registers,
+        )
+
+        bundle = generate_bundle(self.READ_ONLY_CONFIG_SOURCE, DrmtHardwareParams())
+        assert written_registers(bundle.program) == frozenset({"per_flow"})
+        assert derive_state_fields(bundle.program) == ("pkt.flow",)
+        assert derive_auto_shard_key(bundle.program) == (("pkt.flow",), 8)
+
+    @pytest.mark.parametrize("shards", (2, 4))
+    def test_read_only_config_program_shards_bit_for_bit(self, shards):
+        from repro.drmt import DRMTSimulator, DrmtHardwareParams, generate_bundle
+
+        bundle = generate_bundle(
+            self.READ_ONLY_CONFIG_SOURCE, DrmtHardwareParams(num_processors=3)
+        )
+        packets = [
+            {"pkt.flow": (index * 5) % 16, "pkt.limit": 0, "pkt.total": 0}
+            for index in range(120)
+        ]
+        reference = DRMTSimulator(bundle, engine="fused").run_packets(packets)
+        sharded = DRMTSimulator(
+            bundle, engine="sharded", shards=shards, workers=1
+        ).run_packets(packets)
+        self._assert_results_equal(sharded, reference)
+        assert sharded.engine == "sharded[fused]"
+
+    def test_pure_reader_program_block_partitions(self):
+        """Only read-only state: block partitioning is admitted and exact."""
+        from repro.drmt import DRMTSimulator, DrmtHardwareParams, generate_bundle
+        from repro.engine.drmt import derive_auto_shard_key
+        from repro.engine.sharded import ShardedDrmtDriver
+
+        bundle = generate_bundle(self.PURE_READER_SOURCE, DrmtHardwareParams())
+        assert derive_auto_shard_key(bundle.program) == ((), None)
+        simulator = DRMTSimulator(bundle, engine="sharded", shards=4, workers=1)
+        driver = ShardedDrmtDriver(bundle, simulator.tables, simulator.registers, shards=4)
+        assert driver.key == ()
+        packets = [{"pkt.flow": index % 9, "pkt.limit": 0} for index in range(60)]
+        reference = DRMTSimulator(bundle, engine="fused").run_packets(packets)
+        sharded = simulator.run_packets(packets)
+        self._assert_results_equal(sharded, reference)
+        assert sharded.engine == "sharded[fused]"
 
     def test_accumulated_statistics_match_sequential_reuse(self):
         """Reusing one simulator across runs accumulates like the tick model."""
